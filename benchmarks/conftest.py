@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+The bench tests use ``benchmark.pedantic(..., rounds=1)``: each experiment
+is a full (simulated-cluster) search campaign, so statistical re-running is
+neither meaningful nor affordable.  The payload of each bench is the table
+it prints and persists under ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work when pytest is invoked from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))

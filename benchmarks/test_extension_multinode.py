@@ -1,0 +1,64 @@
+"""Extension bench (paper future-work item 2): multi-node scaling.
+
+Extends the single-node cost model to a hierarchical (intra-node ring +
+inter-node ring) allreduce and sweeps rank counts across node boundaries,
+printing where the network term bends the scaling curve — the regime the
+paper defers to future work.
+"""
+
+from __future__ import annotations
+
+from common import format_table, report
+from repro.dataparallel import MultiNodeCostModel, TrainingCostModel
+
+# A 2M-parameter network: large enough that gradient traffic matters at
+# the node boundary (the regime multi-node data parallelism targets).
+PARAMS = 2_000_000
+TRAIN = 244_025
+BS = 256
+EPOCHS = 20
+RANKS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run_experiment():
+    single = TrainingCostModel()
+    multi = MultiNodeCostModel(ranks_per_node=8)
+    slow = MultiNodeCostModel(ranks_per_node=8, network_bandwidth_Bps=0.125e9)
+    t1 = multi.training_minutes(PARAMS, TRAIN, BS, 1, EPOCHS)
+    rows = []
+    for n in RANKS:
+        tm = multi.training_minutes(PARAMS, TRAIN, BS, n, EPOCHS)
+        ts = slow.training_minutes(PARAMS, TRAIN, BS, n, EPOCHS)
+        rows.append(
+            [
+                n,
+                multi.num_nodes(n),
+                round(tm, 2),
+                round(t1 / tm, 2),
+                round(ts, 2),
+                round(t1 / ts, 2),
+            ]
+        )
+    return rows
+
+
+def test_extension_multinode(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "extension_multinode",
+        format_table(
+            "Extension — multi-node data-parallel scaling (hierarchical allreduce)",
+            ["ranks", "nodes", "100Gb/s time (min)", "speedup", "10Gb/s time (min)", "speedup"],
+            rows,
+        ),
+    )
+    speedups = [r[3] for r in rows]
+    # Speedup is monotone in ranks and never exceeds the rank count.
+    assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+    for (n, *_), s in zip(rows, speedups):
+        assert s <= n + 1e-9
+    # A slower network strictly lowers multi-node speedups.
+    assert rows[6][5] < rows[6][3]
+    # The inter-node allreduce term grows with the node count.
+    multi = MultiNodeCostModel(ranks_per_node=8)
+    assert multi.allreduce_seconds(PARAMS, 64) > multi.allreduce_seconds(PARAMS, 16)

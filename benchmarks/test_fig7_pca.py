@@ -1,0 +1,75 @@
+"""Figure 7: PCA projection of the top-1% configurations per data set.
+
+Paper: projecting the 37 architecture decisions (one-hot) and the 3
+data-parallel hyperparameters of the top-1% configurations to 2-D
+conserves >80% variance for H_m and shows data-set-specific clusters for
+both H_a and H_m.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import format_table, get_search_space, report, run_search
+from repro.analysis import PCA, top_fraction_records
+from repro.datasets import dataset_names
+
+
+def collect_matrices():
+    space = get_search_space()
+    arch_rows, hp_rows, labels = [], [], []
+    for name in dataset_names():
+        history, _ = run_search(name, "AgEBO", seed=0)
+        top = top_fraction_records(history, fraction=0.05, minimum=5)
+        for r in top:
+            arch_rows.append(space.to_onehot(r.config.arch))
+            hp = r.config.hyperparameters
+            hp_rows.append(
+                [np.log10(hp["learning_rate"]), np.log2(hp["batch_size"]), np.log2(hp["num_ranks"])]
+            )
+            labels.append(name)
+    return np.stack(arch_rows), np.array(hp_rows), np.array(labels)
+
+
+def cluster_separation(Z: np.ndarray, labels: np.ndarray) -> float:
+    """Between-centroid spread over mean within-cluster spread."""
+    names = np.unique(labels)
+    centroids = np.stack([Z[labels == n].mean(axis=0) for n in names])
+    within = np.mean(
+        [np.linalg.norm(Z[labels == n] - c, axis=1).mean() for n, c in zip(names, centroids)]
+    )
+    between = np.linalg.norm(centroids - centroids.mean(axis=0), axis=1).mean()
+    return float(between / max(within, 1e-12))
+
+
+def run_experiment():
+    arch, hp, labels = collect_matrices()
+    pca_a = PCA(2).fit(arch)
+    pca_m = PCA(2).fit(hp)
+    return {
+        "arch_var": float(pca_a.explained_variance_ratio_.sum()),
+        "hp_var": float(pca_m.explained_variance_ratio_.sum()),
+        "arch_sep": cluster_separation(pca_a.transform(arch), labels),
+        "hp_sep": cluster_separation(pca_m.transform(hp), labels),
+        "n_points": len(labels),
+    }
+
+
+def test_fig7_pca(benchmark):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "fig7_pca",
+        format_table(
+            "Fig. 7 — PCA of top configurations (H_a one-hot, H_m) across data sets",
+            ["space", "2-D conserved variance", "cluster separation (between/within)"],
+            [
+                ["H_a (architecture)", round(out["arch_var"], 3), round(out["arch_sep"], 3)],
+                ["H_m (hyperparameters)", round(out["hp_var"], 3), round(out["hp_sep"], 3)],
+            ],
+        )
+        + f"\npoints: {out['n_points']} (top configurations pooled over 4 data sets)",
+    )
+    # H_m lives in 3-D, so 2 components conserve most variance (paper >80%).
+    assert out["hp_var"] > 0.8
+    # Data sets occupy distinguishable regions of hyperparameter space.
+    assert out["hp_sep"] > 0.3

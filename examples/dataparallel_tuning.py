@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Why data-parallel training needs tuning (the paper's motivation).
+
+Trains the *same* architecture under n ∈ {1, 2, 4, 8} simulated ranks with
+the linear scaling rule, first at the default hyperparameters (the AgE-n
+setting of Table I) and then at a BO-tuned learning rate, showing:
+
+  1. training time (simulated, paper-scale) falls near-linearly with n;
+  2. accuracy degrades past the data-set's parallelism limit;
+  3. tuning the base learning rate recovers most of the loss.
+
+Usage:
+    python examples/dataparallel_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo import BayesianOptimizer
+from repro.dataparallel import DataParallelTrainer, TrainingCostModel
+from repro.datasets import load_dataset
+from repro.nn import GraphNetwork
+from repro.nn.graph_network import ArchitectureSpec, NodeOp
+from repro.searchspace import default_dataparallel_space
+
+SPEC = ArchitectureSpec(
+    node_ops=(NodeOp(96, "relu"), NodeOp(64, "relu"), NodeOp(48, "swish")),
+    skips=frozenset({(0, 2), (1, 3)}),
+)
+
+
+def train_once(ds, num_ranks: int, lr: float, epochs: int = 8, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    model = GraphNetwork(SPEC, ds.n_features, ds.n_classes, rng)
+    result = DataParallelTrainer(
+        num_ranks=num_ranks, epochs=epochs, batch_size=128, learning_rate=lr
+    ).fit(model, ds.X_train, ds.y_train, ds.X_valid, ds.y_valid, rng)
+    return result.best_val_accuracy
+
+
+def main() -> None:
+    ds = load_dataset("covertype", size=2500)
+    print(ds.summary(), "\n")
+    cost = TrainingCostModel()
+
+    rng = np.random.default_rng(0)
+    model = GraphNetwork(SPEC, ds.n_features, ds.n_classes, rng)
+    params = model.num_parameters()
+
+    print("=== static hyperparameters (linear scaling rule only) ===")
+    print(f"{'ranks':>5} | {'sim train time':>14} | {'speedup':>7} | {'val accuracy':>12}")
+    t1 = cost.training_minutes(params, ds.nominal_train_size, 128, 1, 20)
+    default_lr = 0.01
+    for n in (1, 2, 4, 8):
+        t = cost.training_minutes(params, ds.nominal_train_size, 128, n, 20)
+        acc = train_once(ds, n, default_lr)
+        print(f"{n:>5} | {t:>11.1f} min | {t1 / t:>6.2f}x | {acc:>12.4f}")
+
+    print("\n=== BO-tuned base learning rate at n = 8 ===")
+    space = default_dataparallel_space(
+        tune_batch_size=False, tune_num_ranks=False, default_num_ranks=8,
+        default_batch_size=128,
+    )
+    optimizer = BayesianOptimizer(space, kappa=0.001, n_initial_points=4, seed=1)
+    for step in range(6):
+        configs = optimizer.ask(2)
+        scores = [train_once(ds, 8, c["learning_rate"], epochs=6) for c in configs]
+        optimizer.tell(configs, scores)
+    best, val = optimizer.best()
+    print(f"tuned lr_1 = {best['learning_rate']:.5f} -> val accuracy {val:.4f} "
+          f"(default lr {default_lr} gave {train_once(ds, 8, default_lr):.4f})")
+    print("\nThe tuned base learning rate recovers accuracy at n=8 while "
+          "keeping the near-linear training-time reduction — this is what "
+          "AgEBO automates jointly with the architecture search.")
+
+
+if __name__ == "__main__":
+    main()

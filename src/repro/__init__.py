@@ -1,0 +1,19 @@
+"""AgEBO-Tabular reproduction.
+
+Joint neural architecture and hyperparameter search combining aging
+evolution (AgE) over a skip-connection MLP search space with asynchronous
+Bayesian optimization of data-parallel training hyperparameters
+(batch size, learning rate, number of ranks), per Egele et al., SC 2021.
+
+Public entry points
+-------------------
+- :class:`repro.core.AgEBO` / :class:`repro.core.AgE` — the search methods.
+- :class:`repro.searchspace.ArchitectureSpace` — the 37-variable NAS space.
+- :class:`repro.searchspace.HyperparameterSpace` — the data-parallel HP space.
+- :func:`repro.datasets.load_dataset` — the four OpenML-analogue benchmarks.
+- :class:`repro.workflow.SimulatedEvaluator` — the simulated-cluster backend.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,35 @@
+"""Analysis utilities that turn search histories into the paper's figures.
+
+- :mod:`repro.analysis.trajectory` — best-so-far curves (Figs. 3, 4, 6).
+- :mod:`repro.analysis.top_configs` — high-performer counting (Figs. 5, 8)
+  and top-k hyperparameter tables (Table III).
+- :mod:`repro.analysis.pca` — from-scratch PCA (Fig. 7).
+- :mod:`repro.analysis.utilization` — node-utilization accounting (§IV-C).
+"""
+
+from repro.analysis.trajectory import best_so_far_curve, curve_on_grid, time_to_accuracy
+from repro.analysis.top_configs import (
+    count_unique_high_performers,
+    high_performer_threshold,
+    top_fraction_records,
+    top_k_hyperparameter_table,
+)
+from repro.analysis.pca import PCA
+from repro.analysis.utilization import utilization_summary
+from repro.analysis.importance import hyperparameter_importance, marginal_curve
+from repro.analysis.report import markdown_report
+
+__all__ = [
+    "hyperparameter_importance",
+    "marginal_curve",
+    "markdown_report",
+    "best_so_far_curve",
+    "curve_on_grid",
+    "time_to_accuracy",
+    "high_performer_threshold",
+    "count_unique_high_performers",
+    "top_k_hyperparameter_table",
+    "top_fraction_records",
+    "PCA",
+    "utilization_summary",
+]

@@ -1,0 +1,81 @@
+"""Hyperparameter importance from a finished search (fANOVA-lite).
+
+Fits the same random-forest surrogate AgEBO uses to the history's
+(hyperparameter, validation accuracy) pairs, then scores each tuned
+dimension by the variance of its *marginal* prediction curve: sweep one
+dimension over its observed range while averaging the forest's prediction
+over bootstrap samples of the remaining dimensions.  A dimension whose
+marginal moves the predicted accuracy a lot is important for this data set
+— the quantitative counterpart of the paper's Table III observation that
+different data sets need different (bs, lr, n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.forest import RandomForestRegressor
+from repro.core.results import SearchHistory
+from repro.searchspace.hpspace import HyperparameterSpace
+
+__all__ = ["hyperparameter_importance", "marginal_curve"]
+
+
+def _observation_matrix(
+    history: SearchHistory, space: HyperparameterSpace
+) -> tuple[np.ndarray, np.ndarray]:
+    X = np.stack([space.to_array(r.config.hyperparameters) for r in history.records])
+    y = history.objectives()
+    return X, y
+
+
+def marginal_curve(
+    forest: RandomForestRegressor,
+    X: np.ndarray,
+    dim: int,
+    grid: np.ndarray,
+    rng: np.random.Generator,
+    n_background: int = 128,
+) -> np.ndarray:
+    """Mean prediction at each grid value of ``dim``, marginalizing the rest."""
+    rows = X[rng.integers(0, X.shape[0], size=min(n_background, 4 * X.shape[0]))]
+    curve = np.empty(grid.size)
+    for i, value in enumerate(grid):
+        probe = rows.copy()
+        probe[:, dim] = value
+        mu, _ = forest.predict(probe)
+        curve[i] = mu.mean()
+    return curve
+
+
+def hyperparameter_importance(
+    history: SearchHistory,
+    space: HyperparameterSpace,
+    n_grid: int = 12,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Normalized importance per tuned hyperparameter (sums to 1).
+
+    Requires at least 5 evaluations; raises ``ValueError`` otherwise.
+    """
+    if space.num_dimensions == 0:
+        return {}
+    if len(history) < 5:
+        raise ValueError(f"need at least 5 evaluations, have {len(history)}")
+    rng = np.random.default_rng(seed)
+    X, y = _observation_matrix(history, space)
+    forest = RandomForestRegressor(n_trees=40, max_depth=10).fit(X, y, rng)
+
+    variances = {}
+    for d, name in enumerate(space.names):
+        lo, hi = X[:, d].min(), X[:, d].max()
+        if lo == hi:
+            variances[name] = 0.0
+            continue
+        grid = np.linspace(lo, hi, n_grid)
+        curve = marginal_curve(forest, X, d, grid, rng)
+        variances[name] = float(curve.var())
+    total = sum(variances.values())
+    if total == 0.0:
+        return {name: 1.0 / len(variances) for name in variances}
+    return {name: v / total for name, v in variances.items()}

@@ -1,0 +1,98 @@
+"""Markdown report generation for finished search campaigns.
+
+Produces a self-contained summary a user can commit next to a saved
+history: headline metrics, the best-so-far trajectory at fixed quantiles
+of the elapsed time, the top-k models with their data-parallel
+hyperparameters, and (when the space is provided) hyperparameter
+importances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.importance import hyperparameter_importance
+from repro.analysis.top_configs import top_k_hyperparameter_table
+from repro.analysis.trajectory import curve_on_grid
+from repro.core.results import SearchHistory
+from repro.searchspace.hpspace import HyperparameterSpace
+
+__all__ = ["markdown_report"]
+
+
+def _md_table(headers: list[str], rows: list[list]) -> str:
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def markdown_report(
+    history: SearchHistory,
+    hp_space: HyperparameterSpace | None = None,
+    top_k: int = 5,
+    trajectory_points: int = 6,
+) -> str:
+    """Render a campaign summary as GitHub-flavoured markdown."""
+    if len(history) == 0:
+        raise ValueError("cannot report on an empty history")
+    if top_k < 1 or trajectory_points < 2:
+        raise ValueError("top_k must be >= 1 and trajectory_points >= 2")
+
+    best = history.best()
+    objectives = history.objectives()
+    durations = history.durations()
+    end = float(history.end_times().max())
+
+    parts = [f"# Search report — {history.label or 'unnamed'}", ""]
+    parts.append(
+        _md_table(
+            ["evaluations", "best objective", "mean objective", "mean duration (min)",
+             "elapsed (sim min)"],
+            [[
+                len(history),
+                float(best.objective),
+                float(objectives.mean()),
+                float(durations.mean()),
+                end,
+            ]],
+        )
+    )
+
+    parts.append("\n## Best-so-far trajectory\n")
+    grid = np.linspace(end / trajectory_points, end, trajectory_points)
+    curve = curve_on_grid(history, grid)
+    parts.append(
+        _md_table(
+            ["sim minutes", "best objective so far"],
+            [
+                [round(float(t), 1), "-" if np.isnan(v) else float(v)]
+                for t, v in zip(grid, curve)
+            ],
+        )
+    )
+
+    parts.append(f"\n## Top {top_k} models\n")
+    top_rows = top_k_hyperparameter_table(history, k=top_k)
+    if top_rows:
+        headers = list(top_rows[0].keys())
+        parts.append(_md_table(headers, [[r[h] for h in headers] for r in top_rows]))
+
+    if hp_space is not None and hp_space.num_dimensions > 0 and len(history) >= 5:
+        parts.append("\n## Hyperparameter importance\n")
+        importance = hyperparameter_importance(history, hp_space)
+        parts.append(
+            _md_table(
+                ["hyperparameter", "importance"],
+                [
+                    [name, f"{value:.1%}"]
+                    for name, value in sorted(importance.items(), key=lambda kv: -kv[1])
+                ],
+            )
+        )
+    return "\n".join(parts) + "\n"

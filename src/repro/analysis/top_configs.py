@@ -1,0 +1,82 @@
+"""High-performer counting and best-hyperparameter tables.
+
+Figures 5 and 8 count *unique* architectures whose validation accuracy
+exceeds a threshold computed as the minimum across methods of each
+method's 0.99-quantile of validation accuracies.  Table III lists the
+data-parallel hyperparameters of the top-5 models per data set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.results import EvaluationRecord, SearchHistory
+
+__all__ = [
+    "high_performer_threshold",
+    "count_unique_high_performers",
+    "top_k_hyperparameter_table",
+    "top_fraction_records",
+]
+
+
+def high_performer_threshold(
+    histories: Sequence[SearchHistory], quantile: float = 0.99
+) -> float:
+    """Min over histories of the per-history objective quantile (paper §IV-B)."""
+    if not histories:
+        raise ValueError("need at least one history")
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    values = []
+    for h in histories:
+        objs = h.objectives()
+        if objs.size == 0:
+            raise ValueError(f"history {h.label!r} is empty")
+        values.append(float(np.quantile(objs, quantile)))
+    return min(values)
+
+
+def count_unique_high_performers(
+    history: SearchHistory, threshold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative count of unique architectures above ``threshold`` over time.
+
+    Returns (completion times, counts); uniqueness is on the encoded
+    architecture vector, so re-discovering the same network (by different
+    hyperparameters) is counted once.
+    """
+    records = sorted(history.records, key=lambda r: r.end_time)
+    seen: set[tuple] = set()
+    times: list[float] = []
+    counts: list[int] = []
+    for r in records:
+        if r.objective >= threshold:
+            key = r.config.key()
+            if key not in seen:
+                seen.add(key)
+                times.append(r.end_time)
+                counts.append(len(seen))
+    return np.asarray(times), np.asarray(counts, dtype=np.int64)
+
+
+def top_k_hyperparameter_table(history: SearchHistory, k: int = 5) -> list[dict[str, Any]]:
+    """Table III rows: hyperparameters + accuracy of the top-``k`` models."""
+    rows = []
+    for r in history.top_k(k):
+        row = dict(sorted(r.config.hyperparameters.items()))
+        row["validation_accuracy"] = r.objective
+        rows.append(row)
+    return rows
+
+
+def top_fraction_records(
+    history: SearchHistory, fraction: float = 0.01, minimum: int = 1
+) -> list[EvaluationRecord]:
+    """The top ``fraction`` of records by objective (Fig. 7's top 1%)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    k = max(minimum, int(round(fraction * len(history))))
+    return history.top_k(k)

@@ -1,0 +1,36 @@
+"""Search-trajectory analysis (the thick lines of Figs. 3, 4 and 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import SearchHistory
+
+__all__ = ["best_so_far_curve", "curve_on_grid", "time_to_accuracy"]
+
+
+def best_so_far_curve(history: SearchHistory) -> tuple[np.ndarray, np.ndarray]:
+    """(completion times, running-max objective), sorted by time."""
+    return history.best_so_far()
+
+
+def curve_on_grid(
+    history: SearchHistory, grid: np.ndarray, fill: float = np.nan
+) -> np.ndarray:
+    """Best-so-far objective sampled at the given time grid.
+
+    Grid points before the first completion get ``fill``.  This puts
+    multiple searches on a common time axis for tabular comparison.
+    """
+    times, objs = history.best_so_far()
+    grid = np.asarray(grid, dtype=float)
+    if times.size == 0:
+        return np.full(grid.shape, fill)
+    idx = np.searchsorted(times, grid, side="right") - 1
+    out = np.where(idx >= 0, objs[np.clip(idx, 0, None)], fill)
+    return out
+
+
+def time_to_accuracy(history: SearchHistory, threshold: float) -> float | None:
+    """Earliest simulated minute at which best-so-far reached ``threshold``."""
+    return history.time_to_reach(threshold)

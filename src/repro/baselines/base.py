@@ -1,0 +1,48 @@
+"""Common classifier interface for the baseline learners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BaseClassifier", "check_Xy"]
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and normalize a training pair."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ValueError(f"y must be 1-D of length {X.shape[0]}, got shape {y.shape}")
+    if X.shape[0] == 0:
+        raise ValueError("empty training set")
+    if y.dtype.kind not in "iu":
+        raise ValueError("labels must be integers")
+    return X, y.astype(np.int64)
+
+
+class BaseClassifier:
+    """fit / predict_proba / predict protocol.
+
+    ``n_classes`` is fixed at construction so probability matrices align
+    across models inside ensembles even when a fold misses some class.
+    """
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self.n_classes = n_classes
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Plain accuracy."""
+        return float((self.predict(X) == np.asarray(y)).mean())

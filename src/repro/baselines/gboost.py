@@ -1,0 +1,86 @@
+"""Gradient-boosted trees (multinomial deviance, one tree per class/round).
+
+Classic Friedman-style GBM built on the regression trees from
+:mod:`repro.bo.forest`: each round fits per-class regression trees to the
+softmax residuals and adds them to the logit ensemble with shrinkage.
+Cost grows linearly with the class count, so AutoGluon-like skips this
+learner on very-many-class problems (Dionis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseClassifier, check_Xy
+from repro.bo.forest import RegressionTree
+from repro.datasets.preprocessing import one_hot
+
+__all__ = ["GradientBoostingClassifier"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class GradientBoostingClassifier(BaseClassifier):
+    """Multiclass GBM with shrinkage and optional row subsampling."""
+
+    def __init__(
+        self,
+        n_classes: int,
+        n_rounds: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        subsample: float = 1.0,
+    ) -> None:
+        super().__init__(n_classes)
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self._stages: list[list[RegressionTree]] = []
+        self._base_logits: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "GradientBoostingClassifier":
+        X, y = check_Xy(X, y)
+        n = X.shape[0]
+        Y = one_hot(y, self.n_classes)
+        priors = Y.mean(axis=0)
+        self._base_logits = np.log(np.clip(priors, 1e-9, None))
+        F = np.tile(self._base_logits, (n, 1))
+        self._stages = []
+        for _ in range(self.n_rounds):
+            residual = Y - _softmax(F)  # negative gradient of the deviance
+            if self.subsample < 1.0:
+                rows = rng.choice(n, size=max(1, int(self.subsample * n)), replace=False)
+            else:
+                rows = np.arange(n)
+            stage: list[RegressionTree] = []
+            for c in range(self.n_classes):
+                tree = RegressionTree(max_depth=self.max_depth, min_samples_split=8)
+                tree.fit(X[rows], residual[rows, c], rng)
+                F[:, c] += self.learning_rate * tree.predict(X)
+                stage.append(tree)
+            self._stages.append(stage)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self._base_logits is None:
+            raise RuntimeError("GBM is not fitted")
+        X = np.asarray(X, dtype=float)
+        F = np.tile(self._base_logits, (X.shape[0], 1))
+        for stage in self._stages:
+            for c, tree in enumerate(stage):
+                F[:, c] += self.learning_rate * tree.predict(X)
+        return F
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return _softmax(self.decision_function(X))

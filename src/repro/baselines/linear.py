@@ -1,0 +1,64 @@
+"""Multinomial logistic regression via full-batch gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseClassifier, check_Xy
+from repro.datasets.preprocessing import one_hot
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression(BaseClassifier):
+    """Softmax regression with L2 regularization, optimized by GD + momentum."""
+
+    def __init__(
+        self,
+        n_classes: int,
+        l2: float = 1e-4,
+        learning_rate: float = 0.5,
+        n_iter: int = 200,
+        momentum: float = 0.9,
+    ) -> None:
+        super().__init__(n_classes)
+        if l2 < 0 or learning_rate <= 0 or n_iter < 1:
+            raise ValueError("invalid hyperparameters")
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.momentum = momentum
+        self.W_: np.ndarray | None = None
+        self.b_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "LogisticRegression":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        Y = one_hot(y, self.n_classes)
+        W = np.zeros((d, self.n_classes))
+        b = np.zeros(self.n_classes)
+        vW = np.zeros_like(W)
+        vb = np.zeros_like(b)
+        for _ in range(self.n_iter):
+            logits = X @ W + b
+            logits -= logits.max(axis=1, keepdims=True)
+            P = np.exp(logits)
+            P /= P.sum(axis=1, keepdims=True)
+            G = (P - Y) / n
+            gW = X.T @ G + self.l2 * W
+            gb = G.sum(axis=0)
+            vW = self.momentum * vW - self.learning_rate * gW
+            vb = self.momentum * vb - self.learning_rate * gb
+            W += vW
+            b += vb
+        self.W_ = W
+        self.b_ = b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.W_ is None:
+            raise RuntimeError("model is not fitted")
+        logits = np.asarray(X, dtype=float) @ self.W_ + self.b_
+        logits -= logits.max(axis=1, keepdims=True)
+        P = np.exp(logits)
+        return P / P.sum(axis=1, keepdims=True)

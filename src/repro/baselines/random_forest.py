@@ -1,0 +1,70 @@
+"""Random forest and extra-trees classifiers (bagged CARTs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseClassifier, check_Xy
+from repro.baselines.trees import ClassificationTree
+
+__all__ = ["RandomForestClassifier", "ExtraTreesClassifier"]
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bootstrap-aggregated Gini trees with √d feature subsampling."""
+
+    _random_thresholds = False
+    _bootstrap = True
+
+    def __init__(
+        self,
+        n_classes: int,
+        n_trees: int = 100,
+        max_depth: int = 14,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+    ) -> None:
+        super().__init__(n_classes)
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._trees: list[ClassificationTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        max_features = self.max_features or max(1, int(np.sqrt(d)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            tree = ClassificationTree(
+                self.n_classes,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_thresholds=self._random_thresholds,
+            )
+            if self._bootstrap:
+                sample = rng.integers(0, n, size=n)
+                tree.fit(X[sample], y[sample], rng)
+            else:
+                tree.fit(X, y, rng)
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        proba = self._trees[0].predict_proba(X)
+        for tree in self._trees[1:]:
+            proba += tree.predict_proba(X)
+        return proba / len(self._trees)
+
+
+class ExtraTreesClassifier(RandomForestClassifier):
+    """Extremely randomized trees: no bootstrap, random split thresholds."""
+
+    _random_thresholds = True
+    _bootstrap = False

@@ -1,0 +1,216 @@
+"""Regression trees and random forests for the BO surrogate.
+
+A small, vectorized CART implementation: split search evaluates every
+threshold of a feature in one pass using cumulative sums of ``y`` and
+``y²`` over the sorted column (variance reduction in O(n log n) per
+feature).  The forest bootstrap-samples observations and subsamples
+features per split; ``predict`` returns per-candidate mean and standard
+deviation across trees, which is exactly the (μ, σ) pair skopt's forest
+surrogate feeds into UCB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RegressionTree", "RandomForestRegressor"]
+
+
+class RegressionTree:
+    """CART regression tree with random feature subsampling per split.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root at depth 0).
+    min_samples_split:
+        Nodes with fewer samples become leaves.
+    max_features:
+        Number of candidate features per split; ``None`` uses all.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        max_features: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        # Flat node arrays, appended during fit.
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "RegressionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes: X {X.shape}, y {y.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self._feature.clear()
+        self._threshold.clear()
+        self._left.clear()
+        self._right.clear()
+        self._value.clear()
+        self._build(X, y, np.arange(X.shape[0]), depth=0, rng=rng)
+        return self
+
+    def _new_node(self, value: float) -> int:
+        idx = len(self._value)
+        self._feature.append(-1)
+        self._threshold.append(0.0)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._value.append(value)
+        return idx
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> int:
+        node = self._new_node(float(y[idx].mean()))
+        if (
+            depth >= self.max_depth
+            or idx.size < self.min_samples_split
+            or np.ptp(y[idx]) == 0.0
+        ):
+            return node
+        split = self._best_split(X, y, idx, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[idx, feature] <= threshold
+        left_idx = idx[mask]
+        right_idx = idx[~mask]
+        if left_idx.size == 0 or right_idx.size == 0:
+            return node
+        self._feature[node] = feature
+        self._threshold[node] = threshold
+        self._left[node] = self._build(X, y, left_idx, depth + 1, rng)
+        self._right[node] = self._build(X, y, right_idx, depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float] | None:
+        n_features = X.shape[1]
+        k = n_features if self.max_features is None else min(self.max_features, n_features)
+        features = rng.choice(n_features, size=k, replace=False)
+        y_node = y[idx]
+        n = idx.size
+        total_sum = y_node.sum()
+        best_score = np.inf  # weighted child SSE; parent SSE is constant
+        best: tuple[int, float] | None = None
+        for f in features:
+            col = X[idx, f]
+            order = np.argsort(col, kind="stable")
+            xs = col[order]
+            ys = y_node[order]
+            # Candidate split after position i (1..n-1) only where x changes.
+            csum = np.cumsum(ys)
+            csum2 = np.cumsum(ys * ys)
+            counts = np.arange(1, n)  # left sizes
+            left_sum = csum[:-1]
+            left_sum2 = csum2[:-1]
+            right_sum = total_sum - left_sum
+            right_sum2 = csum2[-1] - left_sum2
+            right_counts = n - counts
+            sse = (
+                left_sum2
+                - left_sum * left_sum / counts
+                + right_sum2
+                - right_sum * right_sum / right_counts
+            )
+            valid = xs[1:] > xs[:-1]
+            if not valid.any():
+                continue
+            sse = np.where(valid, sse, np.inf)
+            pos = int(np.argmin(sse))
+            if sse[pos] < best_score:
+                best_score = float(sse[pos])
+                best = (int(f), float(0.5 * (xs[pos] + xs[pos + 1])))
+        return best
+
+    # ------------------------------------------------------------------ #
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized prediction: route all rows level by level."""
+        X = np.asarray(X, dtype=float)
+        if not self._value:
+            raise RuntimeError("tree is not fitted")
+        feature = np.asarray(self._feature)
+        threshold = np.asarray(self._threshold)
+        left = np.asarray(self._left)
+        right = np.asarray(self._right)
+        value = np.asarray(self._value)
+
+        nodes = np.zeros(X.shape[0], dtype=np.intp)
+        active = feature[nodes] >= 0
+        while active.any():
+            cur = nodes[active]
+            feats = feature[cur]
+            go_left = X[active, feats] <= threshold[cur]
+            nodes[active] = np.where(go_left, left[cur], right[cur])
+            active = feature[nodes] >= 0
+        return value[nodes]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._value)
+
+
+class RandomForestRegressor:
+    """Bootstrap ensemble of regression trees with (μ, σ) prediction."""
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        max_features: int | None = None,
+        bootstrap: bool = True,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self._trees: list[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        n = X.shape[0]
+        max_features = self.max_features
+        if max_features is None and X.shape[1] > 1:
+            # skopt-style default: use all features for small dims, else sqrt.
+            max_features = X.shape[1] if X.shape[1] <= 3 else max(1, int(np.sqrt(X.shape[1])))
+        self._trees = []
+        for _ in range(self.n_trees):
+            tree = RegressionTree(self.max_depth, self.min_samples_split, max_features)
+            if self.bootstrap and n > 1:
+                sample = rng.integers(0, n, size=n)
+                tree.fit(X[sample], y[sample], rng)
+            else:
+                tree.fit(X, y, rng)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-row (mean, std) across the ensemble."""
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        preds = np.stack([t.predict(X) for t in self._trees])
+        return preds.mean(axis=0), preds.std(axis=0)

@@ -1,0 +1,39 @@
+"""Constant-liar strategy for multipoint (asynchronous) acquisition.
+
+To emit a batch of configurations without waiting for their evaluations,
+the optimizer pretends each selected point has already returned a dummy
+objective value (the *lie*), refits the surrogate, and selects the next
+point.  The paper uses the mean of all observed validation accuracies as
+the lie; min ("pessimistic", encourages spread) and max ("optimistic",
+encourages clustering) are provided for the liar-strategy ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["constant_lie", "LIE_STRATEGIES"]
+
+LIE_STRATEGIES = ("mean", "min", "max")
+
+
+def constant_lie(observed: np.ndarray, strategy: str = "mean") -> float:
+    """Dummy objective value for pending points.
+
+    Parameters
+    ----------
+    observed:
+        Objective values collected so far (must be non-empty).
+    strategy:
+        One of ``"mean"`` (paper default), ``"min"``, ``"max"``.
+    """
+    observed = np.asarray(observed, dtype=float)
+    if observed.size == 0:
+        raise ValueError("constant lie requires at least one observation")
+    if strategy == "mean":
+        return float(observed.mean())
+    if strategy == "min":
+        return float(observed.min())
+    if strategy == "max":
+        return float(observed.max())
+    raise ValueError(f"unknown lie strategy {strategy!r}; expected one of {LIE_STRATEGIES}")

@@ -1,0 +1,48 @@
+"""Alternative surrogate models for the BO ablation studies.
+
+The paper uses a random forest (via scikit-optimize).  For the surrogate
+ablation bench we also provide a k-nearest-neighbour surrogate — (μ, σ) of
+the k nearest observed objectives — and the degenerate "random" surrogate
+(no model; handled inside the optimizer by sampling uniformly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNNSurrogate"]
+
+
+class KNNSurrogate:
+    """(μ, σ) from the ``k`` nearest observations in normalized coordinates."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> "KNNSurrogate":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self._X = X
+        self._y = y
+        spread = X.std(axis=0)
+        self._scale = np.where(spread > 0, spread, 1.0)
+        return self
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self._X is None:
+            raise RuntimeError("surrogate is not fitted")
+        X = np.asarray(X, dtype=float)
+        k = min(self.k, self._X.shape[0])
+        a = X / self._scale
+        b = self._X / self._scale
+        d2 = (a * a).sum(axis=1)[:, None] - 2.0 * a @ b.T + (b * b).sum(axis=1)[None, :]
+        nn = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        vals = self._y[nn]
+        return vals.mean(axis=1), vals.std(axis=1)

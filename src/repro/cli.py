@@ -1,0 +1,180 @@
+"""Command-line interface: run searches and baselines without writing code.
+
+Examples
+--------
+List the benchmarks::
+
+    python -m repro.cli datasets
+
+Run a miniature AgEBO search::
+
+    python -m repro.cli search --dataset covertype --method AgEBO \
+        --max-evaluations 40 --workers 8 --epochs 4
+
+Run the AgE baseline with 4 static ranks::
+
+    python -m repro.cli search --dataset airlines --method AgE --num-ranks 4
+
+Fit the AutoGluon-like ensemble::
+
+    python -m repro.cli baseline --dataset albert --system autogluon
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import utilization_summary
+from repro.core import ModelEvaluation, make_age_variant, make_agebo_variant
+from repro.core.variants import AGEBO_VARIANTS
+from repro.datasets import DATASET_SPECS, dataset_names, load_dataset
+from repro.searchspace import ArchitectureSpace
+from repro.workflow import SimulatedEvaluator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AgEBO-Tabular reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the available benchmarks")
+
+    p_search = sub.add_parser("search", help="run a NAS / joint search")
+    p_search.add_argument("--dataset", choices=dataset_names(), required=True)
+    p_search.add_argument(
+        "--method", choices=("AgE",) + AGEBO_VARIANTS, default="AgEBO"
+    )
+    p_search.add_argument("--num-ranks", type=int, default=1,
+                          help="static ranks for --method AgE")
+    p_search.add_argument("--size", type=int, default=2000, help="data set rows")
+    p_search.add_argument("--num-nodes", type=int, default=5,
+                          help="architecture-space depth (paper: 10)")
+    p_search.add_argument("--workers", type=int, default=8)
+    p_search.add_argument("--epochs", type=int, default=5)
+    p_search.add_argument("--max-evaluations", type=int, default=50)
+    p_search.add_argument("--wall-minutes", type=float, default=None,
+                          help="simulated wall-clock budget")
+    p_search.add_argument("--population", type=int, default=10)
+    p_search.add_argument("--sample", type=int, default=3)
+    p_search.add_argument("--kappa", type=float, default=0.001)
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--top", type=int, default=5, help="top-k models to print")
+    p_search.add_argument("--save-history", type=str, default=None,
+                          help="write the search history to this JSON file")
+    p_search.add_argument("--report", type=str, default=None,
+                          help="write a markdown campaign report to this file")
+
+    p_base = sub.add_parser("baseline", help="run an AutoML baseline")
+    p_base.add_argument("--dataset", choices=dataset_names(), required=True)
+    p_base.add_argument("--system", choices=("autogluon", "autopytorch"),
+                        default="autogluon")
+    p_base.add_argument("--size", type=int, default=2000)
+    p_base.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets(out) -> int:
+    for name in dataset_names():
+        spec = DATASET_SPECS[name]
+        print(
+            f"{name:<10} {spec.n_features:>3} features, {spec.n_classes:>3} classes, "
+            f"nominal {spec.nominal_rows:,} rows",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_search(args, out) -> int:
+    ds = load_dataset(args.dataset, size=args.size)
+    print(ds.summary(), file=out)
+    space = ArchitectureSpace(num_nodes=args.num_nodes)
+    evaluation = ModelEvaluation(ds, space, epochs=args.epochs, nominal_epochs=20)
+    evaluator = SimulatedEvaluator(evaluation, num_workers=args.workers)
+    common = dict(
+        population_size=args.population, sample_size=args.sample, seed=args.seed
+    )
+    if args.method == "AgE":
+        search = make_age_variant(space, evaluator, num_ranks=args.num_ranks, **common)
+    else:
+        search = make_agebo_variant(
+            args.method, space, evaluator, kappa=args.kappa, **common
+        )
+    history = search.search(
+        max_evaluations=args.max_evaluations, wall_time_minutes=args.wall_minutes
+    )
+    util = utilization_summary(evaluator)
+    print(
+        f"\n{history.label}: {len(history)} evaluations in "
+        f"{evaluator.now:.1f} simulated minutes "
+        f"({util.utilization:.0%} utilization)",
+        file=out,
+    )
+    print(f"{'rank':<5} {'val acc':<9} {'bs':<5} {'lr':<9} {'n':<3} duration", file=out)
+    for i, record in enumerate(history.top_k(args.top), start=1):
+        hp = record.config.hyperparameters
+        print(
+            f"{i:<5} {record.objective:<9.4f} {hp['batch_size']:<5} "
+            f"{hp['learning_rate']:<9.5f} {hp['num_ranks']:<3} "
+            f"{record.duration:.1f} min",
+            file=out,
+        )
+    if args.save_history:
+        from repro.core import save_history
+
+        save_history(history, args.save_history)
+        print(f"history written to {args.save_history}", file=out)
+    if args.report:
+        from pathlib import Path
+
+        from repro.analysis import markdown_report
+
+        hp_space = getattr(search, "hp_space", None)
+        Path(args.report).write_text(markdown_report(history, hp_space))
+        print(f"report written to {args.report}", file=out)
+    return 0
+
+
+def _cmd_baseline(args, out) -> int:
+    from repro.baselines import AutoGluonLike, AutoPyTorchLike
+
+    ds = load_dataset(args.dataset, size=args.size)
+    print(ds.summary(), file=out)
+    if args.system == "autogluon":
+        system = AutoGluonLike(preset="medium", seed=args.seed).fit(ds)
+        report = system.evaluate(ds)
+        print(
+            f"AutoGluon-like: val={report.validation_accuracy:.4f} "
+            f"test={report.test_accuracy:.4f} "
+            f"inference={report.inference_seconds * 1e3:.1f} ms "
+            f"({report.n_base_models} base models)",
+            file=out,
+        )
+    else:
+        system = AutoPyTorchLike(n_candidates=8, min_epochs=2, max_epochs=10,
+                                 seed=args.seed).fit(ds)
+        print(
+            f"Auto-PyTorch-like: best val={system.best_val_accuracy_:.4f} "
+            f"config={system.best_config_}",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(out)
+    if args.command == "search":
+        return _cmd_search(args, out)
+    if args.command == "baseline":
+        return _cmd_baseline(args, out)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: AgE and AgEBO (Algorithm 1).
+
+- :class:`ModelConfig` — one candidate: an encoded architecture ``h_a``
+  plus a data-parallel hyperparameter configuration ``h_m``.
+- :class:`ModelEvaluation` — the evaluation function: builds the network,
+  runs autotuned data-parallel training, returns validation accuracy and a
+  simulated duration.
+- :class:`AgE` — aging evolution with *static* data-parallel training.
+- :class:`AgEBO` — aging evolution + asynchronous BO over ``h_m``.
+- :func:`make_agebo_variant` — the paper's ablations (AgEBO-8-LR,
+  AgEBO-8-LR-BS, full AgEBO, AgE-n).
+"""
+
+from repro.core.config import ModelConfig
+from repro.core.results import EvaluationRecord, SearchHistory
+from repro.core.evaluation import ModelEvaluation
+from repro.core.age import AgE
+from repro.core.agebo import AgEBO
+from repro.core.variants import make_age_variant, make_agebo_variant
+from repro.core.serialization import (
+    load_history,
+    load_model_weights,
+    save_history,
+    save_model_weights,
+)
+from repro.core.transfer import extract_hp_observations
+
+__all__ = [
+    "save_history",
+    "load_history",
+    "save_model_weights",
+    "load_model_weights",
+    "extract_hp_observations",
+    "ModelConfig",
+    "EvaluationRecord",
+    "SearchHistory",
+    "ModelEvaluation",
+    "AgE",
+    "AgEBO",
+    "make_age_variant",
+    "make_agebo_variant",
+]

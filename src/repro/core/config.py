@@ -1,0 +1,57 @@
+"""Candidate model configuration: (h_a, h_m)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ModelConfig"]
+
+
+@dataclass
+class ModelConfig:
+    """One point of the joint search space ``H = H_a × H_m``.
+
+    Attributes
+    ----------
+    arch:
+        Encoded architecture vector (see
+        :class:`repro.searchspace.ArchitectureSpace`).
+    hyperparameters:
+        Full data-parallel training configuration with keys
+        ``batch_size``, ``learning_rate`` and ``num_ranks`` (tuned values
+        merged with the variant's fixed defaults).
+    """
+
+    arch: np.ndarray
+    hyperparameters: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.arch = np.asarray(self.arch, dtype=np.int64)
+        if self.arch.ndim != 1:
+            raise ValueError(f"arch must be a 1-D vector, got shape {self.arch.shape}")
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.hyperparameters["batch_size"])
+
+    @property
+    def learning_rate(self) -> float:
+        return float(self.hyperparameters["learning_rate"])
+
+    @property
+    def num_ranks(self) -> int:
+        return int(self.hyperparameters["num_ranks"])
+
+    def key(self) -> tuple:
+        """Hashable identity for uniqueness counting (Fig. 5)."""
+        return (tuple(int(v) for v in self.arch),)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hp = {
+            k: (round(v, 5) if isinstance(v, float) else v)
+            for k, v in sorted(self.hyperparameters.items())
+        }
+        return f"ModelConfig(arch={self.arch.tolist()}, hp={hp})"

@@ -1,0 +1,160 @@
+"""Shared manager-loop machinery for AgE and AgEBO (Algorithm 1 skeleton).
+
+The loop follows the paper exactly: seed the cluster with ``W`` random
+configurations, then repeatedly gather finished evaluations, push them into
+the aging population, generate exactly ``|results|`` replacements (random
+while the population is filling, tournament + mutation afterwards) and
+resubmit — keeping every worker busy, which is what yields the ≈94% node
+utilization reported in §IV-C.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.results import EvaluationRecord, SearchHistory
+from repro.searchspace.archspace import ArchitectureSpace
+from repro.searchspace.mutation import mutate_architecture
+from repro.workflow.evaluator import Evaluator
+from repro.workflow.jobs import Job
+
+__all__ = ["AgingEvolutionBase"]
+
+
+class AgingEvolutionBase:
+    """Common aging-evolution mechanics; subclasses supply ``h_m`` policy.
+
+    Parameters
+    ----------
+    space:
+        The architecture search space ``H_a``.
+    evaluator:
+        A submit/gather backend (simulated or threaded).
+    population_size, sample_size:
+        ``P`` and ``S`` (paper: 100 and 10).
+    num_workers:
+        ``W``; defaults to the evaluator's worker count when it has one.
+    replacement:
+        ``"aging"`` (paper: evict the oldest member) or ``"elitist"``
+        (ablation: evict the worst member) when the population is full.
+    """
+
+    def __init__(
+        self,
+        space: ArchitectureSpace,
+        evaluator: Evaluator,
+        population_size: int = 100,
+        sample_size: int = 10,
+        num_workers: int | None = None,
+        seed: int = 0,
+        mutate_skips: bool = True,
+        replacement: str = "aging",
+        label: str = "",
+    ) -> None:
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= sample_size <= population_size:
+            raise ValueError("sample_size must be in [1, population_size]")
+        if replacement not in ("aging", "elitist"):
+            raise ValueError(f"unknown replacement {replacement!r}")
+        self.space = space
+        self.evaluator = evaluator
+        self.population_size = population_size
+        self.sample_size = sample_size
+        self.num_workers = num_workers or getattr(evaluator, "num_workers", 1)
+        self.rng = np.random.default_rng(seed)
+        self.mutate_skips = mutate_skips
+        self.replacement = replacement
+        # Aging population: a bounded FIFO queue; pushing past capacity
+        # evicts the oldest member (paper line 11).  Elitist replacement
+        # (the ablation) evicts the worst member instead.
+        self.population: collections.deque[EvaluationRecord] = collections.deque()
+        self.history = SearchHistory(label=label or type(self).__name__)
+
+    # ------------------------------------------------------------------ #
+    # Hooks implemented by AgE / AgEBO
+    # ------------------------------------------------------------------ #
+    def _initial_hyperparameters(self, k: int) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def _next_hyperparameters(self, results: list[EvaluationRecord]) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def _child_architecture(self) -> np.ndarray:
+        """Tournament + mutation once the population is full, else random."""
+        if len(self.population) >= self.population_size:
+            sample_idx = self.rng.integers(0, len(self.population), size=self.sample_size)
+            sample = [self.population[int(i)] for i in sample_idx]
+            parent = max(sample, key=lambda r: r.objective)
+            return mutate_architecture(
+                self.space, parent.config.arch, self.rng, mutate_skips=self.mutate_skips
+            )
+        return self.space.random_sample(self.rng)
+
+    def _record(self, job: Job) -> EvaluationRecord:
+        record = EvaluationRecord(
+            config=job.config,
+            objective=job.result.objective,
+            duration=job.result.duration,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            end_time=job.end_time,
+            metadata=job.result.metadata,
+        )
+        self.history.add(record)
+        if len(self.population) >= self.population_size:
+            if self.replacement == "aging":
+                self.population.popleft()
+            else:
+                worst = min(range(len(self.population)), key=lambda i: self.population[i].objective)
+                del self.population[worst]
+        self.population.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    def search(
+        self,
+        max_evaluations: int | None = None,
+        wall_time_minutes: float | None = None,
+    ) -> SearchHistory:
+        """Run Algorithm 1 until an evaluation or time budget is hit.
+
+        ``wall_time_minutes`` is measured on the evaluator's clock
+        (simulated minutes for the simulated backend).
+        """
+        if max_evaluations is None and wall_time_minutes is None:
+            raise ValueError("need at least one of max_evaluations / wall_time_minutes")
+
+        # Initialization (lines 3-7): W random submissions.
+        initial_hps = self._initial_hyperparameters(self.num_workers)
+        initial = [
+            ModelConfig(arch=self.space.random_sample(self.rng), hyperparameters=hp)
+            for hp in initial_hps
+        ]
+        self.evaluator.submit(initial)
+
+        while True:
+            jobs = self.evaluator.gather()
+            if not jobs:
+                break  # nothing in flight: budget exhausted below or drained
+            results = [self._record(job) for job in jobs]
+
+            if max_evaluations is not None and len(self.history) >= max_evaluations:
+                break
+            if wall_time_minutes is not None and self.evaluator.now >= wall_time_minutes:
+                break
+
+            # Generate |results| replacement configurations (lines 12-23).
+            next_hps = self._next_hyperparameters(results)
+            children = [
+                ModelConfig(arch=self._child_architecture(), hyperparameters=hp)
+                for hp in next_hps
+            ]
+            self.evaluator.submit(children)
+
+        return self.history

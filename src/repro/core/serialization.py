@@ -1,0 +1,113 @@
+"""Persistence for search campaigns and trained models.
+
+A 3-hour 129-node campaign must be inspectable offline and resumable; this
+module serializes :class:`SearchHistory` to JSON (architecture vectors,
+hyperparameters, objectives, cluster timings, scalar metadata) and model
+weights to ``.npz``.  Loaded histories feed the same analysis tools as live
+ones, and their records can warm-start a new search's population and BO.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.results import EvaluationRecord, SearchHistory
+from repro.nn.graph_network import GraphNetwork
+
+__all__ = [
+    "history_to_dict",
+    "history_from_dict",
+    "save_history",
+    "load_history",
+    "save_model_weights",
+    "load_model_weights",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _scalar_metadata(metadata: dict[str, Any]) -> dict[str, Any]:
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, (bool, int, float, str)):
+            out[key] = value
+        elif isinstance(value, (np.integer, np.floating)):
+            out[key] = value.item()
+    return out
+
+
+def history_to_dict(history: SearchHistory) -> dict[str, Any]:
+    """JSON-safe representation of a history (scalar metadata only)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "label": history.label,
+        "records": [
+            {
+                "arch": record.config.arch.tolist(),
+                "hyperparameters": record.config.hyperparameters,
+                "objective": record.objective,
+                "duration": record.duration,
+                "submit_time": record.submit_time,
+                "start_time": record.start_time,
+                "end_time": record.end_time,
+                "metadata": _scalar_metadata(record.metadata),
+            }
+            for record in history.records
+        ],
+    }
+
+
+def history_from_dict(data: dict[str, Any]) -> SearchHistory:
+    """Inverse of :func:`history_to_dict`."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported history format version {data.get('version')!r}")
+    history = SearchHistory(label=data.get("label", ""))
+    for row in data["records"]:
+        history.add(
+            EvaluationRecord(
+                config=ModelConfig(
+                    arch=np.asarray(row["arch"], dtype=np.int64),
+                    hyperparameters=dict(row["hyperparameters"]),
+                ),
+                objective=float(row["objective"]),
+                duration=float(row["duration"]),
+                submit_time=float(row["submit_time"]),
+                start_time=float(row["start_time"]),
+                end_time=float(row["end_time"]),
+                metadata=dict(row.get("metadata", {})),
+            )
+        )
+    return history
+
+
+def save_history(history: SearchHistory, path: str | Path) -> Path:
+    """Write a history to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(history_to_dict(history), indent=1))
+    return path
+
+
+def load_history(path: str | Path) -> SearchHistory:
+    """Read a history saved by :func:`save_history`."""
+    return history_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_model_weights(model: GraphNetwork, path: str | Path) -> Path:
+    """Write a network's parameters to ``.npz`` (ordered as parameters())."""
+    path = Path(path)
+    arrays = {f"param_{i}": w for i, w in enumerate(model.get_weights())}
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model_weights(model: GraphNetwork, path: str | Path) -> GraphNetwork:
+    """Load ``.npz`` weights into a structurally identical network."""
+    with np.load(Path(path)) as data:
+        weights = [data[f"param_{i}"] for i in range(len(data.files))]
+    model.set_weights(weights)
+    return model

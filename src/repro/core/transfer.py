@@ -1,0 +1,81 @@
+"""Transfer learning across searches (paper future-work item 3).
+
+The paper's conclusion proposes "meta-learning and transfer learning
+approaches to reuse the knowledge and results from previous experimental
+runs for related data sets".  The natural mechanism in AgEBO is the BO
+component: hyperparameter observations ``(h_m, accuracy)`` from a finished
+search can warm-start the surrogate of a new search, skipping (part of)
+the random-initialization phase.
+
+Because absolute accuracies differ across data sets, observations are
+*rank-normalized* to [0, 1] before transfer — the surrogate then learns
+"which region of H_m was good there" rather than raw scores, and fresh
+observations (also comparable after the new search's own scaling)
+gradually dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.results import SearchHistory
+
+__all__ = ["extract_hp_observations", "rank_normalize", "warm_start_optimizer"]
+
+
+def rank_normalize(values: Sequence[float]) -> np.ndarray:
+    """Map values to their normalized ranks in [0, 1] (ties averaged)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr
+    if arr.size == 1:
+        return np.array([0.5])
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(arr.size)
+    ranks[order] = np.arange(arr.size, dtype=float)
+    # Average ties so identical objectives transfer identically.
+    for v in np.unique(arr):
+        mask = arr == v
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks / (arr.size - 1)
+
+
+def extract_hp_observations(
+    history: SearchHistory, top_fraction: float = 1.0
+) -> tuple[list[dict[str, Any]], list[float]]:
+    """Pull (hyperparameter config, rank-normalized objective) pairs.
+
+    ``top_fraction < 1`` keeps only the best records — transferring where
+    the previous search *succeeded* rather than its full trajectory.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    records = sorted(history.records, key=lambda r: -r.objective)
+    keep = max(1, int(round(top_fraction * len(records))))
+    records = records[:keep]
+    configs = [dict(r.config.hyperparameters) for r in records]
+    values = rank_normalize([r.objective for r in records]).tolist()
+    return configs, values
+
+
+def warm_start_optimizer(
+    optimizer,
+    observations: Sequence[tuple[Mapping[str, Any], float]],
+) -> int:
+    """Feed prior observations into a :class:`BayesianOptimizer`.
+
+    Returns the number of observations installed.  Configurations that do
+    not validate against the optimizer's space (e.g. a fixed dimension
+    changed between searches) are skipped rather than failing the run.
+    """
+    installed = 0
+    for config, value in observations:
+        try:
+            optimizer.tell([config], [value])
+        except ValueError:
+            continue
+        installed += 1
+    return installed

@@ -1,0 +1,101 @@
+"""Gradient compression for data-parallel training (extension).
+
+Large-scale data-parallel training often compresses gradients before the
+allreduce to cut network traffic.  This module implements the standard
+**top-k sparsification with error feedback** (Deep Gradient Compression
+style): each rank keeps only its ``k`` largest-magnitude gradient entries,
+accumulates what it dropped into a local residual, and adds the residual
+back before the next selection — which preserves convergence while
+shipping a small fraction of the bytes.
+
+The compressed exchange is modeled as an allgather of sparse
+(index, value) pairs; :func:`compressed_transfer_bytes` feeds the cost
+model with the reduced traffic so the multi-node scaling benefit can be
+quantified against the dense ring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TopKCompressor", "compressed_allreduce_mean", "compressed_transfer_bytes"]
+
+GradientList = list[np.ndarray]
+
+_INDEX_BYTES = 4
+_VALUE_BYTES = 4
+
+
+class TopKCompressor:
+    """Per-rank top-k sparsifier with error feedback.
+
+    Parameters
+    ----------
+    ratio:
+        Fraction of entries kept per tensor (e.g. 0.01 ships 1%).
+    """
+
+    def __init__(self, ratio: float) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self._residuals: list[np.ndarray] | None = None
+
+    def reset(self) -> None:
+        self._residuals = None
+
+    def compress(self, grads: GradientList) -> list[tuple[np.ndarray, np.ndarray, tuple[int, ...]]]:
+        """Return per-tensor (indices, values, shape) of the kept entries.
+
+        Dropped mass is stored in the residual and re-injected next call.
+        """
+        if self._residuals is None:
+            self._residuals = [np.zeros_like(g) for g in grads]
+        if len(grads) != len(self._residuals):
+            raise ValueError("gradient list structure changed between calls")
+        out = []
+        for g, residual in zip(grads, self._residuals):
+            corrected = g + residual
+            flat = corrected.ravel()
+            k = max(1, int(round(self.ratio * flat.size)))
+            if k >= flat.size:
+                idx = np.arange(flat.size)
+            else:
+                idx = np.argpartition(np.abs(flat), flat.size - k)[-k:]
+            values = flat[idx].copy()
+            # Error feedback: remember everything we did not ship.
+            residual[...] = corrected
+            residual.ravel()[idx] = 0.0
+            out.append((idx.astype(np.int64), values, corrected.shape))
+        return out
+
+
+def compressed_allreduce_mean(
+    compressed_per_rank: list[list[tuple[np.ndarray, np.ndarray, tuple[int, ...]]]],
+) -> GradientList:
+    """Mean of sparse per-rank gradients (densified reference reduction)."""
+    if not compressed_per_rank:
+        raise ValueError("need at least one rank")
+    n_ranks = len(compressed_per_rank)
+    n_tensors = len(compressed_per_rank[0])
+    out: GradientList = []
+    for t in range(n_tensors):
+        shape = compressed_per_rank[0][t][2]
+        acc = np.zeros(int(np.prod(shape)))
+        for rank in compressed_per_rank:
+            idx, values, rank_shape = rank[t]
+            if rank_shape != shape:
+                raise ValueError(f"tensor {t} shape mismatch across ranks")
+            np.add.at(acc, idx, values)
+        out.append((acc / n_ranks).reshape(shape))
+    return out
+
+
+def compressed_transfer_bytes(num_params: int, num_ranks: int, ratio: float) -> int:
+    """Bytes each rank ships: allgather of k (index, value) pairs."""
+    if num_ranks < 2:
+        return 0
+    k = max(1, int(round(ratio * num_params)))
+    payload = k * (_INDEX_BYTES + _VALUE_BYTES)
+    # Ring allgather ships (n-1)/n of the aggregate payload per rank.
+    return int(round((num_ranks - 1) / num_ranks * payload * num_ranks))

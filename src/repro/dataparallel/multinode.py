@@ -1,0 +1,81 @@
+"""Multi-node data-parallel cost model (paper future-work item 2).
+
+The paper limits data-parallel training to a single node ("Since the data
+set that we consider fits in a single-node memory ...") and names
+multi-node data-parallel training within NAS as future work.  This module
+extends the single-node cost model to a two-level topology: ``n`` total
+ranks spread over ``ceil(n / ranks_per_node)`` nodes, with a hierarchical
+allreduce — intra-node ring over the fast local channel, then inter-node
+ring over the (slower) network — as Horovod's hierarchical allreduce does.
+
+The model exposes the effect the paper anticipates: scaling past one node
+adds a network term to every optimizer step, so the accuracy-neutral
+parallelism limit found by BO shifts with the interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataparallel.allreduce import ring_transfer_stats
+from repro.dataparallel.costmodel import TrainingCostModel, _BYTES_PER_PARAM
+
+__all__ = ["MultiNodeCostModel"]
+
+
+@dataclass(frozen=True)
+class MultiNodeCostModel(TrainingCostModel):
+    """Two-level (intra-node + inter-node) training-time model.
+
+    Parameters
+    ----------
+    ranks_per_node:
+        Processes per node; rank counts above this spill to more nodes.
+    network_bandwidth_Bps, network_latency_s:
+        The inter-node channel (defaults model a 100 Gb/s fabric with
+        microsecond-scale latency, i.e. a Cray Aries-class network).
+    """
+
+    ranks_per_node: int = 8
+    network_bandwidth_Bps: float = 12.5e9  # 100 Gb/s
+    network_latency_s: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+        if self.network_bandwidth_Bps <= 0:
+            raise ValueError("network_bandwidth_Bps must be positive")
+
+    def num_nodes(self, num_ranks: int) -> int:
+        return -(-num_ranks // self.ranks_per_node)  # ceil division
+
+    def allreduce_seconds(self, num_params: int, num_ranks: int) -> float:
+        """Hierarchical allreduce: local ring, then ring across nodes."""
+        if num_ranks == 1:
+            return 0.0
+        nodes = self.num_nodes(num_ranks)
+        local_ranks = min(num_ranks, self.ranks_per_node)
+        payload = num_params * _BYTES_PER_PARAM
+        total = 0.0
+        if local_ranks > 1:
+            local = ring_transfer_stats(local_ranks, payload)
+            total += (
+                local.message_steps * self.link_latency_s
+                + local.bytes_sent_per_rank / self.link_bandwidth_Bps
+            )
+        if nodes > 1:
+            remote = ring_transfer_stats(nodes, payload)
+            total += (
+                remote.message_steps * self.network_latency_s
+                + remote.bytes_sent_per_rank / self.network_bandwidth_Bps
+            )
+        return total
+
+    def batch_compute_seconds(self, num_params: int, batch_size: int, num_ranks: int) -> float:
+        """Per-rank compute: threads contend only within a node."""
+        flops = 2.0 * num_params * batch_size * 3.0
+        local_ranks = min(num_ranks, self.ranks_per_node)
+        threads = max(1, self.threads_per_node // local_ranks)
+        throughput = self.throughput_flops * threads**self.thread_scaling_exponent
+        return flops / throughput + self.step_overhead_s

@@ -1,0 +1,31 @@
+"""The linear scaling rule (Goyal et al., 2017; paper Eq. 2).
+
+``lr_n = n · lr_1`` and ``bs_n = n · bs_1``: with ``n`` ranks each
+processing a micro-batch of ``bs_1``, the effective batch is ``n · bs_1``
+and the learning rate is scaled to match, keeping the expected weight
+update per sample constant.  The rule holds up to a data-set-specific
+parallelism limit, beyond which accuracy degrades — finding that limit is
+exactly what AgEBO's Bayesian optimization automates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["linear_scaled_lr", "linear_scaled_batch_size"]
+
+
+def linear_scaled_lr(base_lr: float, num_ranks: int) -> float:
+    """Learning rate for ``num_ranks`` data-parallel ranks."""
+    if base_lr <= 0:
+        raise ValueError(f"base_lr must be positive, got {base_lr}")
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    return base_lr * num_ranks
+
+
+def linear_scaled_batch_size(base_batch_size: int, num_ranks: int) -> int:
+    """Effective (global) batch size for ``num_ranks`` ranks."""
+    if base_batch_size < 1:
+        raise ValueError(f"base_batch_size must be >= 1, got {base_batch_size}")
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    return base_batch_size * num_ranks

@@ -1,0 +1,37 @@
+"""Training-data sharding for data-parallel ranks.
+
+The paper: "the training data set is split in n mutually exclusive subsets
+called shards, which are given to n parallel processes."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shard_indices"]
+
+
+def shard_indices(
+    n_samples: int,
+    num_ranks: int,
+    rng: np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Partition ``range(n_samples)`` into ``num_ranks`` disjoint shards.
+
+    Shard sizes differ by at most one sample.  If ``rng`` is given the
+    sample order is shuffled first, so shards are i.i.d. draws from the
+    training distribution (as Horovod's shuffled sharding produces).
+
+    Returns
+    -------
+    list of index arrays, one per rank, jointly covering every sample
+    exactly once.
+    """
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    if n_samples < num_ranks:
+        raise ValueError(f"cannot shard {n_samples} samples over {num_ranks} ranks")
+    order = np.arange(n_samples)
+    if rng is not None:
+        rng.shuffle(order)
+    return [np.sort(part) for part in np.array_split(order, num_ranks)]

@@ -1,0 +1,47 @@
+"""Feature preprocessing: standardization and one-hot encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Standardizer", "one_hot"]
+
+
+class Standardizer:
+    """Column-wise (x - mean) / std, fit on training data only.
+
+    Constant columns keep std 1 so they map to zero instead of NaN.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError(f"expected non-empty 2-D array, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("Standardizer is not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels to a ``(n, n_classes)`` one-hot matrix."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"expected 1-D labels, got shape {y.shape}")
+    if y.size and (y.min() < 0 or y.max() >= n_classes):
+        raise ValueError("labels out of range")
+    out = np.zeros((y.shape[0], n_classes))
+    out[np.arange(y.shape[0]), y] = 1.0
+    return out

@@ -1,0 +1,35 @@
+"""Train/validation/test splitting.
+
+The paper groups data as in the Auto-PyTorch benchmark study: 42% train,
+25% validation, 33% test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_valid_test_split", "PAPER_FRACTIONS"]
+
+PAPER_FRACTIONS = (0.42, 0.25, 0.33)
+
+
+def train_valid_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    rng: np.random.Generator,
+    fractions: tuple[float, float, float] = PAPER_FRACTIONS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (X_tr, y_tr, X_va, y_va, X_te, y_te)."""
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    f_train, f_valid, f_test = fractions
+    if min(fractions) <= 0 or abs(f_train + f_valid + f_test - 1.0) > 1e-9:
+        raise ValueError(f"fractions must be positive and sum to 1, got {fractions}")
+    n = X.shape[0]
+    order = rng.permutation(n)
+    n_train = int(round(f_train * n))
+    n_valid = int(round(f_valid * n))
+    tr = order[:n_train]
+    va = order[n_train : n_train + n_valid]
+    te = order[n_train + n_valid :]
+    return X[tr], y[tr], X[va], y[va], X[te], y[te]

@@ -1,0 +1,28 @@
+"""Weight initializers for dense layers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+architecture evaluations are reproducible given a seed — a requirement for
+deterministic search trajectories in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros_init"]
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh/sigmoid layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, suited to ReLU-family layers."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def zeros_init(*shape: int) -> np.ndarray:
+    """Zero initialization (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,86 @@
+"""Layer primitives: the base ``Layer`` protocol and ``Dense``.
+
+A layer owns its parameters (as ``Tensor`` leaves with ``requires_grad``)
+and exposes ``__call__`` building the forward graph.  Layers are
+intentionally tiny; the architecture-level wiring (skip connections,
+projections, sums) lives in :mod:`repro.nn.graph_network`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import apply_activation
+from repro.nn.autograd import Tensor
+from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
+
+__all__ = ["Layer", "Dense"]
+
+
+class Layer:
+    """Base class: parameter registry plus forward call."""
+
+    def parameters(self) -> list[Tensor]:
+        """Return the trainable leaf tensors of this layer."""
+        raise NotImplementedError
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Fully connected layer ``activation(x @ W + b)``.
+
+    Parameters
+    ----------
+    fan_in, units:
+        Input and output widths.
+    activation:
+        One of the five search-space activations, or ``None`` for a purely
+        affine map (used for skip-connection projections and the output
+        logits layer).
+    rng:
+        Generator used for weight initialization.  ReLU/Swish layers use He
+        initialization; others use Glorot.
+    """
+
+    def __init__(
+        self,
+        fan_in: int,
+        units: int,
+        activation: str | None,
+        rng: np.random.Generator,
+        name: str = "dense",
+    ) -> None:
+        if fan_in <= 0 or units <= 0:
+            raise ValueError(f"fan_in and units must be positive, got {fan_in}, {units}")
+        self.fan_in = fan_in
+        self.units = units
+        self.activation = activation
+        if activation in ("relu", "swish"):
+            w = he_normal(fan_in, units, rng)
+        else:
+            w = glorot_uniform(fan_in, units, rng)
+        self.W = Tensor(w, requires_grad=True, name=f"{name}.W")
+        self.b = Tensor(zeros_init(units), requires_grad=True, name=f"{name}.b")
+        self.name = name
+
+    def parameters(self) -> list[Tensor]:
+        return [self.W, self.b]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.W + self.b
+        if self.activation is not None:
+            out = apply_activation(self.activation, out)
+        return out
+
+    def linear(self, x: Tensor) -> Tensor:
+        """Affine part only, ignoring the configured activation."""
+        return x @ self.W + self.b
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dense({self.fan_in}->{self.units}, act={self.activation})"

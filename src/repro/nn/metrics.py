@@ -1,0 +1,36 @@
+"""Classification metrics (plain numpy; never differentiated)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy", "confusion_counts"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose arg-max matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of rows whose label is within the top-``k`` scores."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] == 0:
+        return 0.0
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def confusion_counts(logits: np.ndarray, labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Return the ``(n_classes, n_classes)`` confusion matrix of counts."""
+    preds = np.asarray(logits).argmax(axis=1)
+    labels = np.asarray(labels)
+    mat = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(mat, (labels, preds), 1)
+    return mat

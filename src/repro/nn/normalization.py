@@ -1,0 +1,77 @@
+"""Batch normalization (extension layer; Auto-PyTorch's funnel nets use it).
+
+``BatchNorm1d`` normalizes each feature over the batch during training and
+by running statistics at inference, with learnable scale γ and shift β.
+Built entirely from the autograd primitives (column means, square, sqrt,
+reciprocal), so gradients flow through the normalization statistics exactly
+as in framework implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, is_grad_enabled
+from repro.nn.layers import Layer
+
+__all__ = ["BatchNorm1d"]
+
+
+class BatchNorm1d(Layer):
+    """Per-feature batch normalization for ``(batch, features)`` tensors.
+
+    Parameters
+    ----------
+    num_features:
+        Width of the normalized axis.
+    momentum:
+        Running-statistics update rate (``running = (1-m)·running + m·batch``).
+    eps:
+        Variance floor for numerical stability.
+
+    Notes
+    -----
+    Training vs inference mode follows the autograd state: inside
+    :func:`repro.nn.no_grad` the layer applies running statistics and
+    does not update them, matching the trainers' inference passes.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        if num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(np.ones(num_features), requires_grad=True, name="bn.gamma")
+        self.beta = Tensor(np.zeros(num_features), requires_grad=True, name="bn.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._updates = 0
+
+    def parameters(self) -> list[Tensor]:
+        return [self.gamma, self.beta]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected (batch, {self.num_features}) input, got {x.shape}"
+            )
+        if is_grad_enabled():
+            mu = x.mean_axis0()
+            centered = x - mu
+            var = centered.pow2().mean_axis0()
+            inv_std = (var + self.eps).sqrt().reciprocal()
+            normalized = centered * inv_std
+            # Update running statistics from the batch values (data only).
+            m = self.momentum
+            self.running_mean = (1 - m) * self.running_mean + m * mu.data
+            self.running_var = (1 - m) * self.running_var + m * var.data
+            self._updates += 1
+        else:
+            inv = 1.0 / np.sqrt(self.running_var + self.eps)
+            normalized = (x - self.running_mean) * inv
+        return normalized * self.gamma + self.beta

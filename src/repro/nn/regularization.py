@@ -1,0 +1,37 @@
+"""Dropout (extension layer for the baseline networks).
+
+Inverted dropout: at training time each activation is zeroed with
+probability ``p`` and the survivors are scaled by ``1/(1-p)`` so inference
+(where dropout is a no-op) needs no rescaling.  The mask is sampled from an
+explicit generator for reproducibility; inference mode follows the autograd
+state, like :class:`~repro.nn.normalization.BatchNorm1d`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, is_grad_enabled
+from repro.nn.layers import Layer
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout with rate ``p``."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def parameters(self) -> list[Tensor]:
+        return []
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled() or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)

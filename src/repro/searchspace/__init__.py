@@ -1,0 +1,25 @@
+"""Search spaces for joint NAS + hyperparameter search.
+
+- :class:`ArchitectureSpace` — the paper's 37-decision-variable DAG space of
+  fully connected networks with skip connections (§III-A).
+- :class:`HyperparameterSpace` — the mixed-integer data-parallel training
+  space over (batch size, learning rate, number of ranks) (§IV).
+- Dimension types (:class:`Real`, :class:`Integer`, :class:`Categorical`)
+  shared by the hyperparameter space and the BO surrogate encoding.
+"""
+
+from repro.searchspace.dimensions import Categorical, Dimension, Integer, Real
+from repro.searchspace.archspace import ArchitectureSpace
+from repro.searchspace.hpspace import HyperparameterSpace, default_dataparallel_space
+from repro.searchspace.mutation import mutate_architecture
+
+__all__ = [
+    "Dimension",
+    "Real",
+    "Integer",
+    "Categorical",
+    "ArchitectureSpace",
+    "HyperparameterSpace",
+    "default_dataparallel_space",
+    "mutate_architecture",
+]

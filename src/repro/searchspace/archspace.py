@@ -1,0 +1,170 @@
+"""The AgEBO-Tabular neural architecture search space (paper §III-A).
+
+The space is a chain of ``m`` variable nodes (default 10).  Each variable
+node is a categorical decision variable with 31 non-ordinal choices: 6 unit
+counts × 5 activations, plus the identity op.  Skip-connection nodes are
+binary decision variables: destination node ``i`` (variable nodes 2..m and
+the output node) may receive skips from the three previous non-consecutive
+graph nodes ``i-2, i-3, i-4`` (node 0 = input), giving
+``min(3, i-1)`` skip variables per destination — 27 total for ``m = 10``.
+
+An architecture is encoded as an integer vector: the first ``m`` entries are
+op indices in ``[0, 31)``, the remaining entries are skip bits in canonical
+order (destination ascending, then source ascending).  This flat encoding is
+what AgE mutates and what the PCA analysis (Fig. 7) one-hot expands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.activations import ACTIVATION_NAMES
+from repro.nn.graph_network import ArchitectureSpec, NodeOp
+
+__all__ = ["ArchitectureSpace"]
+
+DEFAULT_UNITS: tuple[int, ...] = (16, 32, 48, 64, 80, 96)
+MAX_SKIP_REACH = 3  # a destination can reach back at most 3 non-consecutive nodes
+
+
+@dataclass(frozen=True)
+class _SkipVar:
+    """One binary skip decision: edge ``source -> destination``."""
+
+    source: int
+    destination: int
+
+
+class ArchitectureSpace:
+    """Factory for sampling, encoding, decoding and mutating architectures.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of variable nodes ``m`` (10 in the paper).
+    units, activations:
+        Choice lists defining the dense-layer types; defaults reproduce the
+        paper's 31 ops (6 × 5 + identity).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 10,
+        units: tuple[int, ...] = DEFAULT_UNITS,
+        activations: tuple[str, ...] = ACTIVATION_NAMES,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.units = tuple(units)
+        self.activations = tuple(activations)
+        # Op index layout: [0, U*A) are (unit, activation) pairs in
+        # row-major order; the last index is the identity op.
+        self.num_ops = len(self.units) * len(self.activations) + 1
+        self._identity_op = self.num_ops - 1
+
+        self._skip_vars: list[_SkipVar] = []
+        for dest in range(2, num_nodes + 2):  # variable nodes 2..m, then output m+1
+            lo = max(0, dest - 1 - MAX_SKIP_REACH)
+            for src in range(lo, dest - 1):
+                self._skip_vars.append(_SkipVar(src, dest))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_skip_vars(self) -> int:
+        return len(self._skip_vars)
+
+    @property
+    def num_variables(self) -> int:
+        """Total decision variables (37 for the default space)."""
+        return self.num_nodes + self.num_skip_vars
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of architectures (≈1.1e23 for the default space)."""
+        return self.num_ops**self.num_nodes * 2**self.num_skip_vars
+
+    def variable_cardinalities(self) -> np.ndarray:
+        """Per-variable choice counts, aligned with the encoding."""
+        return np.array(
+            [self.num_ops] * self.num_nodes + [2] * self.num_skip_vars, dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sampling / encoding
+    # ------------------------------------------------------------------ #
+    def random_sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly sample an encoded architecture vector."""
+        ops = rng.integers(0, self.num_ops, size=self.num_nodes)
+        skips = rng.integers(0, 2, size=self.num_skip_vars)
+        return np.concatenate([ops, skips]).astype(np.int64)
+
+    def validate(self, vector: np.ndarray) -> None:
+        """Raise ``ValueError`` if ``vector`` is not a valid encoding."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.num_variables,):
+            raise ValueError(
+                f"expected vector of length {self.num_variables}, got shape {vector.shape}"
+            )
+        ops = vector[: self.num_nodes]
+        skips = vector[self.num_nodes :]
+        if (ops < 0).any() or (ops >= self.num_ops).any():
+            raise ValueError("op index out of range")
+        if not np.isin(skips, (0, 1)).all():
+            raise ValueError("skip variables must be 0 or 1")
+
+    def op_from_index(self, idx: int) -> NodeOp:
+        """Decode one op index into a :class:`NodeOp`."""
+        if idx == self._identity_op:
+            return NodeOp(None, None)
+        unit_idx, act_idx = divmod(idx, len(self.activations))
+        return NodeOp(self.units[unit_idx], self.activations[act_idx])
+
+    def index_from_op(self, op: NodeOp) -> int:
+        if op.is_identity:
+            return self._identity_op
+        return self.units.index(op.units) * len(self.activations) + self.activations.index(
+            op.activation
+        )
+
+    def decode(self, vector: np.ndarray) -> ArchitectureSpec:
+        """Turn an encoded vector into an :class:`ArchitectureSpec`."""
+        self.validate(vector)
+        node_ops = tuple(self.op_from_index(int(i)) for i in vector[: self.num_nodes])
+        skips = frozenset(
+            (var.source, var.destination)
+            for var, bit in zip(self._skip_vars, vector[self.num_nodes :])
+            if bit
+        )
+        return ArchitectureSpec(node_ops=node_ops, skips=skips)
+
+    def encode(self, spec: ArchitectureSpec) -> np.ndarray:
+        """Inverse of :meth:`decode`."""
+        if spec.num_nodes != self.num_nodes:
+            raise ValueError(f"spec has {spec.num_nodes} nodes, space has {self.num_nodes}")
+        ops = [self.index_from_op(op) for op in spec.node_ops]
+        skips = [1 if (v.source, v.destination) in spec.skips else 0 for v in self._skip_vars]
+        return np.array(ops + skips, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Analysis support
+    # ------------------------------------------------------------------ #
+    def to_onehot(self, vector: np.ndarray) -> np.ndarray:
+        """One-hot expansion of the 37 categorical decisions (Fig. 7 PCA)."""
+        self.validate(vector)
+        parts: list[np.ndarray] = []
+        for value, card in zip(vector, self.variable_cardinalities()):
+            row = np.zeros(card)
+            row[int(value)] = 1.0
+            parts.append(row)
+        return np.concatenate(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ArchitectureSpace(nodes={self.num_nodes}, ops={self.num_ops}, "
+            f"skips={self.num_skip_vars}, |H_a|≈{float(self.cardinality):.2e})"
+        )

@@ -1,0 +1,36 @@
+"""The AgE mutation operator.
+
+Per the paper (§III-C): "first randomly selecting a variable node and then
+choosing (again at random) a value for that node excluding the current
+value".  Both op nodes and skip-connection nodes are decision variables of
+the search space; by default mutation may target either (matching the
+DeepHyper implementation), and ``mutate_skips=False`` restricts mutation to
+op nodes for ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.searchspace.archspace import ArchitectureSpace
+
+__all__ = ["mutate_architecture"]
+
+
+def mutate_architecture(
+    space: ArchitectureSpace,
+    vector: np.ndarray,
+    rng: np.random.Generator,
+    mutate_skips: bool = True,
+) -> np.ndarray:
+    """Return a child vector differing from ``vector`` in exactly one variable."""
+    space.validate(vector)
+    child = np.array(vector, dtype=np.int64, copy=True)
+    n_targets = space.num_variables if mutate_skips else space.num_nodes
+    idx = int(rng.integers(n_targets))
+    card = int(space.variable_cardinalities()[idx])
+    current = int(child[idx])
+    # Sample uniformly among the card-1 other values.
+    offset = int(rng.integers(1, card))
+    child[idx] = (current + offset) % card
+    return child

@@ -1,0 +1,27 @@
+"""Workflow substrate (paper substitute for the Balsam workflow system).
+
+Provides the non-blocking ``submit`` / ``gather`` manager-worker interface
+of Algorithm 1 with two interchangeable backends:
+
+- :class:`SimulatedEvaluator` — an event-driven simulation of a W-worker
+  cluster with a simulated wall clock in minutes.  Evaluation *results* are
+  produced by really running the evaluation function; evaluation
+  *durations* are supplied by the function (typically from
+  :class:`repro.dataparallel.TrainingCostModel`).
+- :class:`ThreadedEvaluator` — real concurrent execution on a thread pool,
+  used to validate that the search loops are genuinely asynchronous.
+"""
+
+from repro.workflow.events import EventQueue
+from repro.workflow.jobs import EvaluationResult, Job, JobState
+from repro.workflow.evaluator import Evaluator, SimulatedEvaluator, ThreadedEvaluator
+
+__all__ = [
+    "EventQueue",
+    "Job",
+    "JobState",
+    "EvaluationResult",
+    "Evaluator",
+    "SimulatedEvaluator",
+    "ThreadedEvaluator",
+]

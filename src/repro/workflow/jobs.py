@@ -1,0 +1,65 @@
+"""Job records flowing through the evaluator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["JobState", "EvaluationResult", "Job"]
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"  # submitted, waiting for a free worker
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class EvaluationResult:
+    """What an evaluation function returns.
+
+    Attributes
+    ----------
+    objective:
+        The scalar to maximize (validation accuracy in the paper).
+    duration:
+        Evaluation duration in simulated minutes.  The
+        :class:`~repro.workflow.evaluator.ThreadedEvaluator` overrides this
+        with measured wall-clock when asked to.
+    metadata:
+        Free-form extras (parameter count, epoch histories, ...).
+    """
+
+    objective: float
+    duration: float
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+
+@dataclass
+class Job:
+    """One evaluation tracked by an evaluator."""
+
+    job_id: int
+    config: Any
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    worker: int = -1
+    result: EvaluationResult | None = None
+
+    @property
+    def objective(self) -> float:
+        if self.result is None:
+            raise RuntimeError(f"job {self.job_id} has no result yet")
+        return self.result.objective
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting for a worker."""
+        return self.start_time - self.submit_time

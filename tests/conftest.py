@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.searchspace import ArchitectureSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_covertype():
+    """Small covertype-analogue reused across integration tests."""
+    return load_dataset("covertype", size=1200)
+
+
+@pytest.fixture
+def small_space() -> ArchitectureSpace:
+    """A 4-node architecture space (fast to build/train)."""
+    return ArchitectureSpace(num_nodes=4)
+
+
+@pytest.fixture
+def full_space() -> ArchitectureSpace:
+    """The paper's 10-node / 37-variable space."""
+    return ArchitectureSpace(num_nodes=10)
+
+
+def make_blobs(
+    rng: np.random.Generator, n: int = 400, d: int = 8, classes: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tiny separable classification problem for learner tests."""
+    centers = rng.normal(size=(classes, d)) * 3.0
+    y = rng.integers(0, classes, size=n)
+    X = centers[y] + rng.normal(size=(n, d))
+    return X, y.astype(np.int64)

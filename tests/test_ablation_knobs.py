@@ -1,0 +1,148 @@
+"""Tests for the ablation knobs: replacement policy, surrogate choice,
+linear-scaling toggle, KNN surrogate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo import BayesianOptimizer, KNNSurrogate
+from repro.core import AgE, AgEBO
+from repro.searchspace import ArchitectureSpace, default_dataparallel_space
+from repro.workflow import EvaluationResult, SimulatedEvaluator
+
+
+def relu_score_run(space):
+    def run(config):
+        ops = config.arch[: space.num_nodes]
+        score = float(
+            np.mean([space.op_from_index(int(i)).activation == "relu" for i in ops])
+        )
+        return EvaluationResult(objective=score, duration=1.0)
+
+    return run
+
+
+@pytest.fixture
+def space():
+    return ArchitectureSpace(num_nodes=4)
+
+
+# --------------------------------------------------------------------- #
+# Replacement policy
+# --------------------------------------------------------------------- #
+def run_age(space, replacement, max_evals=80):
+    ev = SimulatedEvaluator(relu_score_run(space), num_workers=4)
+    search = AgE(
+        space, ev, population_size=8, sample_size=3, seed=0, replacement=replacement
+    )
+    return search, search.search(max_evaluations=max_evals)
+
+
+def test_elitist_population_keeps_best(space):
+    search, hist = run_age(space, "elitist")
+    pop_min = min(r.objective for r in search.population)
+    # The all-time best must still be in an elitist population.
+    assert search.history.best().objective == max(r.objective for r in search.population)
+    # And the population can hold members older than the last P completions.
+    aging_search, _ = run_age(space, "aging")
+    recent = aging_search.history.records[-len(aging_search.population):]
+    assert [r.end_time for r in aging_search.population] == [r.end_time for r in recent]
+    assert pop_min >= 0.0
+
+
+def test_population_size_respected_both_policies(space):
+    for policy in ("aging", "elitist"):
+        search, _ = run_age(space, policy)
+        assert len(search.population) == search.population_size
+
+
+def test_unknown_replacement_rejected(space):
+    ev = SimulatedEvaluator(relu_score_run(space), num_workers=2)
+    with pytest.raises(ValueError):
+        AgE(space, ev, population_size=4, sample_size=2, replacement="tournament")
+
+
+# --------------------------------------------------------------------- #
+# Surrogate choice
+# --------------------------------------------------------------------- #
+def test_random_surrogate_never_models():
+    space_hp = default_dataparallel_space()
+    opt = BayesianOptimizer(space_hp, surrogate="random", n_initial_points=2, seed=0)
+    opt.tell([space_hp.sample(np.random.default_rng(i)) for i in range(5)], [0.1] * 5)
+    # Random surrogate: proposals span the space even after observations.
+    batch = opt.ask(30)
+    ranks = {c["num_ranks"] for c in batch}
+    assert len(ranks) >= 3
+
+
+def test_knn_surrogate_interface(rng):
+    X = rng.normal(size=(30, 2))
+    y = X[:, 0]
+    s = KNNSurrogate(k=3).fit(X, y, rng)
+    mu, sigma = s.predict(X[:5])
+    assert mu.shape == (5,) and sigma.shape == (5,)
+    assert (sigma >= 0).all()
+
+
+def test_knn_surrogate_exact_at_k1(rng):
+    X = rng.normal(size=(20, 2))
+    y = rng.normal(size=20)
+    s = KNNSurrogate(k=1).fit(X, y, rng)
+    mu, sigma = s.predict(X)
+    np.testing.assert_allclose(mu, y)
+    np.testing.assert_allclose(sigma, 0.0)
+
+
+def test_knn_surrogate_validation(rng):
+    with pytest.raises(ValueError):
+        KNNSurrogate(k=0)
+    with pytest.raises(RuntimeError):
+        KNNSurrogate().predict(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        KNNSurrogate().fit(np.zeros((0, 2)), np.zeros(0), rng)
+
+
+def test_optimizer_knn_surrogate_converges():
+    space_hp = default_dataparallel_space(tune_batch_size=False, tune_num_ranks=False)
+    opt = BayesianOptimizer(space_hp, surrogate="knn", n_initial_points=6, seed=3)
+    for _ in range(10):
+        batch = opt.ask(3)
+        opt.tell(batch, [-abs(np.log(c["learning_rate"]) - np.log(0.01)) for c in batch])
+    best, _ = opt.best()
+    assert abs(np.log(best["learning_rate"]) - np.log(0.01)) < 1.0
+
+
+def test_unknown_surrogate_rejected():
+    with pytest.raises(ValueError):
+        BayesianOptimizer(default_dataparallel_space(), surrogate="gp")
+
+
+def test_agebo_accepts_surrogate_option(space):
+    ev = SimulatedEvaluator(relu_score_run(space), num_workers=2)
+    search = AgEBO(
+        space,
+        default_dataparallel_space(),
+        ev,
+        population_size=4,
+        sample_size=2,
+        surrogate="random",
+    )
+    assert search.optimizer.surrogate == "random"
+
+
+# --------------------------------------------------------------------- #
+# Linear-scaling toggle
+# --------------------------------------------------------------------- #
+def test_model_evaluation_linear_scaling_toggle(tiny_covertype):
+    from repro.core import ModelConfig, ModelEvaluation
+
+    space = ArchitectureSpace(num_nodes=2)
+    cfg = ModelConfig(
+        arch=space.random_sample(np.random.default_rng(0)),
+        hyperparameters={"batch_size": 64, "learning_rate": 0.01, "num_ranks": 4},
+    )
+    on = ModelEvaluation(tiny_covertype, space, epochs=3)(cfg)
+    off = ModelEvaluation(tiny_covertype, space, epochs=3, apply_linear_scaling=False)(cfg)
+    # With scaling the effective lr is 4x, so the runs must differ.
+    assert on.objective != off.objective

@@ -1,0 +1,199 @@
+"""Unit tests for the analysis package (figures machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PCA,
+    best_so_far_curve,
+    count_unique_high_performers,
+    curve_on_grid,
+    high_performer_threshold,
+    time_to_accuracy,
+    top_fraction_records,
+    top_k_hyperparameter_table,
+    utilization_summary,
+)
+from repro.core import EvaluationRecord, ModelConfig, SearchHistory
+from repro.workflow import EvaluationResult, SimulatedEvaluator
+
+
+def make_history(entries, label="h"):
+    """entries: list of (objective, end_time, arch_tuple, hp_dict)."""
+    h = SearchHistory(label=label)
+    for obj, end, arch, hp in entries:
+        h.add(
+            EvaluationRecord(
+                config=ModelConfig(np.array(arch), dict(hp)),
+                objective=obj,
+                duration=1.0,
+                submit_time=0.0,
+                start_time=0.0,
+                end_time=end,
+            )
+        )
+    return h
+
+
+HP = {"batch_size": 256, "learning_rate": 0.01, "num_ranks": 1}
+
+
+# --------------------------------------------------------------------- #
+# Trajectories
+# --------------------------------------------------------------------- #
+def test_curve_on_grid_steps():
+    h = make_history([(0.5, 1.0, (0,), HP), (0.8, 3.0, (1,), HP)])
+    grid = np.array([0.5, 1.5, 2.5, 3.5])
+    out = curve_on_grid(h, grid)
+    assert np.isnan(out[0])
+    np.testing.assert_array_equal(out[1:], [0.5, 0.5, 0.8])
+
+
+def test_curve_on_grid_empty_history():
+    out = curve_on_grid(SearchHistory(), np.array([1.0, 2.0]))
+    assert np.isnan(out).all()
+
+
+def test_time_to_accuracy_passthrough():
+    h = make_history([(0.5, 1.0, (0,), HP), (0.9, 4.0, (1,), HP)])
+    assert time_to_accuracy(h, 0.9) == 4.0
+    assert time_to_accuracy(h, 0.99) is None
+
+
+def test_best_so_far_curve_alias():
+    h = make_history([(0.5, 1.0, (0,), HP)])
+    times, objs = best_so_far_curve(h)
+    np.testing.assert_array_equal(times, [1.0])
+
+
+# --------------------------------------------------------------------- #
+# High performers (Figs. 5/8)
+# --------------------------------------------------------------------- #
+def test_threshold_is_min_of_quantiles():
+    h1 = make_history([(v, i, (i,), HP) for i, v in enumerate(np.linspace(0, 1, 101))])
+    h2 = make_history([(v, i, (i,), HP) for i, v in enumerate(np.linspace(0, 0.5, 101))])
+    thr = high_performer_threshold([h1, h2], quantile=0.99)
+    assert thr == pytest.approx(0.495, abs=1e-9)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        high_performer_threshold([])
+    with pytest.raises(ValueError):
+        high_performer_threshold([SearchHistory()], quantile=0.5)
+
+
+def test_count_unique_high_performers_dedupes_architectures():
+    h = make_history(
+        [
+            (0.95, 1.0, (1, 2), HP),
+            (0.96, 2.0, (1, 2), HP),  # same arch again: not re-counted
+            (0.97, 3.0, (3, 4), HP),
+            (0.10, 4.0, (5, 6), HP),  # below threshold
+        ]
+    )
+    times, counts = count_unique_high_performers(h, threshold=0.9)
+    np.testing.assert_array_equal(times, [1.0, 3.0])
+    np.testing.assert_array_equal(counts, [1, 2])
+
+
+def test_count_unique_orders_by_completion():
+    h = make_history([(0.95, 5.0, (1,), HP), (0.95, 2.0, (2,), HP)])
+    times, counts = count_unique_high_performers(h, threshold=0.9)
+    np.testing.assert_array_equal(times, [2.0, 5.0])
+
+
+def test_top_k_table_contents():
+    h = make_history(
+        [
+            (0.6, 1.0, (0,), {"batch_size": 64, "learning_rate": 0.001, "num_ranks": 2}),
+            (0.9, 2.0, (1,), {"batch_size": 256, "learning_rate": 0.002, "num_ranks": 4}),
+        ]
+    )
+    rows = top_k_hyperparameter_table(h, k=1)
+    assert rows == [
+        {
+            "batch_size": 256,
+            "learning_rate": 0.002,
+            "num_ranks": 4,
+            "validation_accuracy": 0.9,
+        }
+    ]
+
+
+def test_top_fraction_records():
+    h = make_history([(v, i, (i,), HP) for i, v in enumerate(np.linspace(0, 1, 200))])
+    top = top_fraction_records(h, fraction=0.01)
+    assert len(top) == 2
+    assert all(r.objective > 0.98 for r in top)
+    with pytest.raises(ValueError):
+        top_fraction_records(h, fraction=0.0)
+
+
+# --------------------------------------------------------------------- #
+# PCA
+# --------------------------------------------------------------------- #
+def test_pca_recovers_dominant_direction(rng):
+    direction = np.array([3.0, 4.0]) / 5.0
+    X = rng.normal(size=(300, 1)) * 5.0 @ direction[None, :] + rng.normal(size=(300, 2)) * 0.1
+    pca = PCA(n_components=1).fit(X)
+    comp = pca.components_[0]
+    assert abs(abs(comp @ direction) - 1.0) < 1e-2
+    assert pca.explained_variance_ratio_[0] > 0.95
+
+
+def test_pca_transform_shape(rng):
+    X = rng.normal(size=(50, 10))
+    Z = PCA(n_components=2).fit_transform(X)
+    assert Z.shape == (50, 2)
+
+
+def test_pca_explained_variance_sums_below_one(rng):
+    X = rng.normal(size=(40, 6))
+    pca = PCA(n_components=3).fit(X)
+    assert 0.0 < pca.explained_variance_ratio_.sum() <= 1.0 + 1e-12
+
+
+def test_pca_centers_data(rng):
+    X = rng.normal(size=(100, 4)) + 100.0
+    pca = PCA(n_components=2).fit(X)
+    Z = pca.transform(X)
+    np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-8)
+
+
+def test_pca_validation(rng):
+    with pytest.raises(ValueError):
+        PCA(n_components=0)
+    with pytest.raises(ValueError):
+        PCA().fit(np.zeros((1, 3)))
+    with pytest.raises(RuntimeError):
+        PCA().transform(np.zeros((2, 3)))
+
+
+def test_pca_components_capped_by_rank(rng):
+    X = rng.normal(size=(5, 3))
+    pca = PCA(n_components=10).fit(X)
+    assert pca.components_.shape[0] == 3
+
+
+# --------------------------------------------------------------------- #
+# Utilization
+# --------------------------------------------------------------------- #
+def test_utilization_summary_counts():
+    ev = SimulatedEvaluator(lambda c: EvaluationResult(0.5, 2.0), num_workers=2)
+    ev.submit([1, 2])
+    ev.gather()
+    summary = utilization_summary(ev)
+    assert summary.num_workers == 2
+    assert summary.elapsed_minutes == 2.0
+    assert summary.utilization == pytest.approx(1.0)
+    assert summary.num_jobs_done == 2
+    assert summary.mean_queue_delay == 0.0
+
+
+def test_utilization_zero_before_any_gather():
+    ev = SimulatedEvaluator(lambda c: EvaluationResult(0.5, 2.0), num_workers=2)
+    summary = utilization_summary(ev)
+    assert summary.utilization == 0.0

@@ -1,0 +1,177 @@
+"""Unit tests for the architecture search space (paper §III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.graph_network import NodeOp
+from repro.searchspace import ArchitectureSpace, mutate_architecture
+
+
+# --------------------------------------------------------------------- #
+# Paper-accurate structure
+# --------------------------------------------------------------------- #
+def test_default_space_matches_paper_counts(full_space):
+    assert full_space.num_nodes == 10
+    assert full_space.num_ops == 31  # 6 units x 5 activations + identity
+    assert full_space.num_skip_vars == 27
+    assert full_space.num_variables == 37
+
+
+def test_default_cardinality_is_paper_value(full_space):
+    assert full_space.cardinality == 31**10 * 2**27
+    # ≈ 1.1e23 per the paper.
+    assert 1.0e23 < float(full_space.cardinality) < 1.2e23
+
+
+def test_skip_structure_per_destination(full_space):
+    # Destination node 2 gets 1 skip var, node 3 gets 2, nodes 4..11 get 3.
+    from collections import Counter
+
+    dests = Counter(v.destination for v in full_space._skip_vars)
+    assert dests[2] == 1
+    assert dests[3] == 2
+    for dest in range(4, 12):
+        assert dests[dest] == 3
+
+
+def test_variable_cardinalities(full_space):
+    cards = full_space.variable_cardinalities()
+    assert (cards[:10] == 31).all()
+    assert (cards[10:] == 2).all()
+
+
+# --------------------------------------------------------------------- #
+# Op encoding
+# --------------------------------------------------------------------- #
+def test_op_index_roundtrip_all(small_space):
+    for idx in range(small_space.num_ops):
+        op = small_space.op_from_index(idx)
+        assert small_space.index_from_op(op) == idx
+
+
+def test_last_op_is_identity(small_space):
+    assert small_space.op_from_index(small_space.num_ops - 1).is_identity
+
+
+def test_op_grid_covers_units_and_activations(small_space):
+    ops = [small_space.op_from_index(i) for i in range(small_space.num_ops - 1)]
+    units = {op.units for op in ops}
+    acts = {op.activation for op in ops}
+    assert units == {16, 32, 48, 64, 80, 96}
+    assert acts == {"identity", "swish", "relu", "tanh", "sigmoid"}
+
+
+# --------------------------------------------------------------------- #
+# Encode / decode
+# --------------------------------------------------------------------- #
+def test_random_sample_valid(full_space, rng):
+    for _ in range(20):
+        full_space.validate(full_space.random_sample(rng))
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_encode_decode_roundtrip(seed):
+    space = ArchitectureSpace(num_nodes=6)
+    vec = space.random_sample(np.random.default_rng(seed))
+    spec = space.decode(vec)
+    np.testing.assert_array_equal(space.encode(spec), vec)
+
+
+def test_decode_produces_expected_skips(small_space):
+    vec = np.zeros(small_space.num_variables, dtype=np.int64)
+    vec[small_space.num_nodes] = 1  # first skip var: (0, 2)
+    spec = small_space.decode(vec)
+    assert (0, 2) in spec.skips
+    assert len(spec.skips) == 1
+
+
+def test_validate_rejects_bad_shapes(small_space):
+    with pytest.raises(ValueError):
+        small_space.validate(np.zeros(3, dtype=int))
+    bad = np.zeros(small_space.num_variables, dtype=int)
+    bad[0] = small_space.num_ops  # op index out of range
+    with pytest.raises(ValueError):
+        small_space.validate(bad)
+    bad2 = np.zeros(small_space.num_variables, dtype=int)
+    bad2[-1] = 5  # skip var must be 0/1
+    with pytest.raises(ValueError):
+        small_space.validate(bad2)
+
+
+def test_encode_wrong_node_count(small_space):
+    from repro.nn.graph_network import ArchitectureSpec
+
+    spec = ArchitectureSpec((NodeOp(16, "relu"),))
+    with pytest.raises(ValueError):
+        small_space.encode(spec)
+
+
+def test_onehot_shape_and_content(small_space, rng):
+    vec = small_space.random_sample(rng)
+    onehot = small_space.to_onehot(vec)
+    expected_len = small_space.num_nodes * small_space.num_ops + small_space.num_skip_vars * 2
+    assert onehot.shape == (expected_len,)
+    assert onehot.sum() == small_space.num_variables  # one hot per variable
+    assert set(np.unique(onehot)) <= {0.0, 1.0}
+
+
+# --------------------------------------------------------------------- #
+# Mutation (paper §III-C)
+# --------------------------------------------------------------------- #
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=100, deadline=None)
+def test_mutation_changes_exactly_one_variable(seed):
+    space = ArchitectureSpace(num_nodes=5)
+    rng = np.random.default_rng(seed)
+    parent = space.random_sample(rng)
+    child = mutate_architecture(space, parent, rng)
+    diffs = np.nonzero(parent != child)[0]
+    assert diffs.size == 1
+    space.validate(child)
+
+
+def test_mutation_excludes_current_value(small_space):
+    rng = np.random.default_rng(0)
+    parent = small_space.random_sample(rng)
+    for _ in range(50):
+        child = mutate_architecture(small_space, parent, rng)
+        i = int(np.nonzero(parent != child)[0][0])
+        assert child[i] != parent[i]
+
+
+def test_mutation_restricted_to_op_nodes(small_space):
+    rng = np.random.default_rng(1)
+    parent = small_space.random_sample(rng)
+    for _ in range(50):
+        child = mutate_architecture(small_space, parent, rng, mutate_skips=False)
+        i = int(np.nonzero(parent != child)[0][0])
+        assert i < small_space.num_nodes
+
+
+def test_mutation_does_not_modify_parent(small_space, rng):
+    parent = small_space.random_sample(rng)
+    snapshot = parent.copy()
+    mutate_architecture(small_space, parent, rng)
+    np.testing.assert_array_equal(parent, snapshot)
+
+
+# --------------------------------------------------------------------- #
+# Constructor validation
+# --------------------------------------------------------------------- #
+def test_space_rejects_zero_nodes():
+    with pytest.raises(ValueError):
+        ArchitectureSpace(num_nodes=0)
+
+
+def test_single_node_space_has_one_output_skip():
+    # With m=1 the only skip variable is input -> output (as in Fig. 1,
+    # the output node may skip past the single variable node).
+    space = ArchitectureSpace(num_nodes=1)
+    assert space.num_skip_vars == 1
+    assert space._skip_vars[0].source == 0
+    assert space._skip_vars[0].destination == 2

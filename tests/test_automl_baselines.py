@@ -1,0 +1,95 @@
+"""Tests for the AutoGluon-like and Auto-PyTorch-like AutoML systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import AutoGluonLike, AutoPyTorchLike
+from repro.baselines.autopytorch_like import FunnelConfig
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("covertype", size=1000)
+
+
+@pytest.fixture(scope="module")
+def fitted_ag(ds):
+    return AutoGluonLike(preset="medium", seed=0).fit(ds)
+
+
+def test_autogluon_like_fits_and_reports(fitted_ag, ds):
+    report = fitted_ag.evaluate(ds)
+    assert 0.5 < report.test_accuracy <= 1.0
+    assert report.inference_seconds > 0.0
+    assert report.n_base_models >= 1
+    assert len(report.model_names) == len(report.weights)
+    assert abs(sum(report.weights) - 1.0) < 1e-9
+
+
+def test_autogluon_like_beats_single_tree(fitted_ag, ds):
+    from repro.baselines import ClassificationTree
+
+    tree = ClassificationTree(ds.n_classes, max_depth=8).fit(
+        ds.X_train, ds.y_train, np.random.default_rng(0)
+    )
+    assert fitted_ag.evaluate(ds).test_accuracy >= tree.score(ds.X_test, ds.y_test) - 0.03
+
+
+def test_autogluon_like_skips_gbm_on_many_classes():
+    many = load_dataset("dionis", size=4000)
+    ag = AutoGluonLike(preset="medium", seed=0)
+    models = ag._candidate_models(many)
+    assert "gbm" not in models
+    few = load_dataset("airlines", size=500)
+    assert "gbm" in ag._candidate_models(few)
+
+
+def test_autogluon_like_requires_fit(ds):
+    with pytest.raises(RuntimeError):
+        AutoGluonLike(preset="medium").evaluate(ds)
+    with pytest.raises(RuntimeError):
+        AutoGluonLike(preset="medium").predict(ds.X_test)
+
+
+def test_autogluon_like_preset_validation():
+    with pytest.raises(ValueError):
+        AutoGluonLike(preset="turbo")
+
+
+def test_funnel_config_shapes():
+    cfg = FunnelConfig(max_units=128, num_layers=3, learning_rate=1e-3, batch_size=64)
+    layers = cfg.hidden_layers()
+    assert len(layers) == 3
+    assert layers[0] == 128
+    assert layers[-1] <= layers[0]
+    assert all(isinstance(w, int) for w in layers)
+
+
+def test_autopytorch_like_runs_halving(ds):
+    ap = AutoPyTorchLike(n_candidates=4, min_epochs=2, max_epochs=6, seed=0).fit(ds)
+    assert ap.best_config_ is not None
+    assert 0.3 < ap.best_val_accuracy_ <= 1.0
+    # Candidate counts halve across rungs.
+    counts = [r["n_candidates"] for r in ap.rung_history_]
+    assert counts[0] == 4
+    assert all(counts[i] >= counts[i + 1] for i in range(len(counts) - 1))
+    # Fidelity increases across rungs.
+    epochs = [r["epochs"] for r in ap.rung_history_]
+    assert all(epochs[i] <= epochs[i + 1] for i in range(len(epochs) - 1))
+
+
+def test_autopytorch_like_validation():
+    with pytest.raises(ValueError):
+        AutoPyTorchLike(n_candidates=1)
+    with pytest.raises(ValueError):
+        AutoPyTorchLike(min_epochs=10, max_epochs=5)
+
+
+def test_autopytorch_like_deterministic(ds):
+    a = AutoPyTorchLike(n_candidates=4, min_epochs=2, max_epochs=4, seed=5).fit(ds)
+    b = AutoPyTorchLike(n_candidates=4, min_epochs=2, max_epochs=4, seed=5).fit(ds)
+    assert a.best_val_accuracy_ == b.best_val_accuracy_
+    assert a.best_config_ == b.best_config_

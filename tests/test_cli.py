@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv) -> str:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+def test_datasets_command_lists_all():
+    text = run_cli(["datasets"])
+    for name in ("covertype", "airlines", "albert", "dionis"):
+        assert name in text
+    assert "355 classes" in text
+
+
+def test_search_command_agebo_smoke():
+    text = run_cli(
+        [
+            "search",
+            "--dataset",
+            "covertype",
+            "--method",
+            "AgEBO",
+            "--size",
+            "800",
+            "--num-nodes",
+            "2",
+            "--epochs",
+            "2",
+            "--max-evaluations",
+            "6",
+            "--workers",
+            "3",
+            "--population",
+            "4",
+            "--sample",
+            "2",
+        ]
+    )
+    assert "AgEBO: " in text
+    assert "evaluations in" in text
+    assert "val acc" in text
+
+
+def test_search_command_age_variant():
+    text = run_cli(
+        [
+            "search",
+            "--dataset",
+            "airlines",
+            "--method",
+            "AgE",
+            "--num-ranks",
+            "2",
+            "--size",
+            "800",
+            "--num-nodes",
+            "2",
+            "--epochs",
+            "2",
+            "--max-evaluations",
+            "5",
+            "--population",
+            "4",
+            "--sample",
+            "2",
+        ]
+    )
+    assert "AgE-2:" in text
+
+
+def test_baseline_command_autopytorch():
+    text = run_cli(
+        ["baseline", "--dataset", "covertype", "--system", "autopytorch", "--size", "800"]
+    )
+    assert "Auto-PyTorch-like" in text
+    assert "best val=" in text
+
+
+def test_parser_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["search", "--dataset", "mnist"])
+
+
+def test_parser_rejects_unknown_method():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["search", "--dataset", "covertype", "--method", "BOHB"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_search_command_saves_history_and_report(tmp_path):
+    hist = tmp_path / "h.json"
+    rep = tmp_path / "r.md"
+    text = run_cli(
+        [
+            "search", "--dataset", "covertype", "--method", "AgEBO",
+            "--size", "800", "--num-nodes", "2", "--epochs", "2",
+            "--max-evaluations", "6", "--workers", "3",
+            "--population", "4", "--sample", "2",
+            "--save-history", str(hist), "--report", str(rep),
+        ]
+    )
+    assert hist.exists() and rep.exists()
+    from repro.core import load_history
+
+    loaded = load_history(hist)
+    assert len(loaded) >= 6
+    assert rep.read_text().startswith("# Search report")
+    assert "history written" in text and "report written" in text

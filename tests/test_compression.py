@@ -1,0 +1,117 @@
+"""Tests for top-k gradient compression with error feedback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataparallel.compression import (
+    TopKCompressor,
+    compressed_allreduce_mean,
+    compressed_transfer_bytes,
+)
+
+
+def test_compressor_keeps_largest_entries(rng):
+    comp = TopKCompressor(ratio=0.2)
+    g = np.array([[0.1, -5.0, 0.2], [3.0, 0.05, -0.3]])
+    (idx, values, shape) = comp.compress([g])[0]
+    assert shape == (2, 3)
+    assert len(idx) == 1  # 20% of 6 entries rounds to 1
+    assert abs(values[0]) == 5.0  # the largest magnitude
+
+
+def test_compressor_full_ratio_is_lossless(rng):
+    comp = TopKCompressor(ratio=1.0)
+    g = rng.normal(size=(4, 3))
+    (idx, values, shape) = comp.compress([g])[0]
+    dense = np.zeros(12)
+    dense[idx] = values
+    np.testing.assert_allclose(dense.reshape(shape), g)
+
+
+def test_error_feedback_accumulates_dropped_mass(rng):
+    comp = TopKCompressor(ratio=0.25)
+    g = np.array([10.0, 1.0, 1.0, 1.0])
+    first = comp.compress([g])[0]
+    assert first[0].tolist() == [0]  # only the big entry shipped
+    # Next round with zero new gradient: residual (three 1.0s) resurfaces.
+    second = comp.compress([np.zeros(4)])[0]
+    assert second[1][0] == 1.0
+    assert second[0][0] != 0
+
+
+def test_error_feedback_total_mass_conserved(rng):
+    """Shipped values + residual always equals the accumulated gradient."""
+    comp = TopKCompressor(ratio=0.3)
+    total = np.zeros(10)
+    shipped = np.zeros(10)
+    for step in range(5):
+        g = rng.normal(size=10)
+        total += g
+        idx, values, _ = comp.compress([g])[0]
+        np.add.at(shipped, idx, values)
+    np.testing.assert_allclose(shipped + comp._residuals[0], total, atol=1e-12)
+
+
+def test_compressed_allreduce_mean_matches_dense_at_full_ratio(rng):
+    grads = [[rng.normal(size=(3, 2)), rng.normal(size=(4,))] for _ in range(3)]
+    compressors = [TopKCompressor(1.0) for _ in range(3)]
+    compressed = [c.compress(g) for c, g in zip(compressors, grads)]
+    mean = compressed_allreduce_mean(compressed)
+    from repro.dataparallel import allreduce_mean
+
+    dense = allreduce_mean(grads)
+    for a, b in zip(mean, dense):
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+def test_compressed_allreduce_shape_checks(rng):
+    a = TopKCompressor(1.0).compress([np.zeros((2, 2))])
+    b = TopKCompressor(1.0).compress([np.zeros((2, 3))])
+    with pytest.raises(ValueError):
+        compressed_allreduce_mean([a, b])
+    with pytest.raises(ValueError):
+        compressed_allreduce_mean([])
+
+
+def test_transfer_bytes_scale_with_ratio():
+    dense_equiv = compressed_transfer_bytes(100_000, 8, 1.0)
+    sparse = compressed_transfer_bytes(100_000, 8, 0.01)
+    assert sparse < dense_equiv / 50
+    assert compressed_transfer_bytes(100_000, 1, 0.01) == 0
+
+
+def test_compressor_structure_change_rejected(rng):
+    comp = TopKCompressor(0.5)
+    comp.compress([np.zeros(4)])
+    with pytest.raises(ValueError):
+        comp.compress([np.zeros(4), np.zeros(2)])
+    comp.reset()
+    comp.compress([np.zeros(4), np.zeros(2)])  # fine after reset
+
+
+def test_compressor_validation():
+    with pytest.raises(ValueError):
+        TopKCompressor(0.0)
+    with pytest.raises(ValueError):
+        TopKCompressor(1.5)
+
+
+@given(ratio=st.floats(0.05, 1.0), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_compression_sgd_still_converges(ratio, seed):
+    """Property: top-k + error feedback optimizes a quadratic like dense GD."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=8)
+    w = np.zeros(8)
+    comp = TopKCompressor(ratio)
+    for _ in range(400):
+        g = 2.0 * (w - target)
+        idx, values, shape = comp.compress([g])[0]
+        sparse_g = np.zeros(8)
+        sparse_g[idx] = values
+        w -= 0.05 * sparse_g
+    assert np.linalg.norm(w - target) < 0.15

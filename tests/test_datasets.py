@@ -1,0 +1,222 @@
+"""Unit tests for the synthetic dataset generators and preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    DATASET_SPECS,
+    Standardizer,
+    dataset_names,
+    load_dataset,
+    make_tabular_classification,
+    one_hot,
+    train_valid_test_split,
+)
+
+
+# --------------------------------------------------------------------- #
+# Generator
+# --------------------------------------------------------------------- #
+def test_generator_shapes(rng):
+    X, y = make_tabular_classification(100, 12, 4, rng)
+    assert X.shape == (100, 12)
+    assert y.shape == (100,)
+    assert y.dtype == np.int64
+    assert set(np.unique(y)) <= set(range(4))
+
+
+def test_generator_deterministic_per_seed():
+    a = make_tabular_classification(50, 5, 3, np.random.default_rng(1))
+    b = make_tabular_classification(50, 5, 3, np.random.default_rng(1))
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+
+
+def test_label_noise_caps_learnability(rng):
+    """Even a nearest-centroid oracle cannot beat the noise ceiling."""
+    X_clean, y_clean = make_tabular_classification(
+        2000, 6, 2, np.random.default_rng(0), class_sep=8.0, mixing_depth=0, label_noise=0.0
+    )
+    X_noisy, y_noisy = make_tabular_classification(
+        2000, 6, 2, np.random.default_rng(0), class_sep=8.0, mixing_depth=0, label_noise=0.5
+    )
+    # Same features (same rng stream up to the flip step).
+    np.testing.assert_array_equal(X_clean, X_noisy)
+    flip_rate = (y_clean != y_noisy).mean()
+    assert 0.15 < flip_rate < 0.35  # 0.5 noise, half flips land on same class
+
+
+def test_class_imbalance_skews_priors(rng):
+    _, y = make_tabular_classification(
+        5000, 4, 5, rng, class_imbalance=0.5
+    )
+    counts = np.bincount(y, minlength=5)
+    assert counts[0] > counts[-1] * 2
+
+
+def test_mixing_depth_zero_is_linear(rng):
+    """With no mixing layers X is an affine map of latent clusters."""
+    X, y = make_tabular_classification(
+        500, 6, 3, rng, class_sep=6.0, mixing_depth=0
+    )
+    # A linear classifier separates well-separated linear clusters.
+    from repro.baselines import LogisticRegression
+
+    model = LogisticRegression(3).fit(X[:400], y[:400], np.random.default_rng(0))
+    assert model.score(X[400:], y[400:]) > 0.95
+
+
+def test_generator_validation(rng):
+    with pytest.raises(ValueError):
+        make_tabular_classification(0, 5, 3, rng)
+    with pytest.raises(ValueError):
+        make_tabular_classification(10, 5, 1, rng)
+    with pytest.raises(ValueError):
+        make_tabular_classification(10, 5, 3, rng, label_noise=1.0)
+    with pytest.raises(ValueError):
+        make_tabular_classification(10, 5, 3, rng, mixing_depth=-1)
+
+
+@given(
+    n=st.integers(10, 200),
+    d=st.integers(1, 10),
+    c=st.integers(2, 5),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_generator_output_finite(n, d, c, seed):
+    X, y = make_tabular_classification(n, d, c, np.random.default_rng(seed))
+    assert np.isfinite(X).all()
+    assert (y >= 0).all() and (y < c).all()
+
+
+# --------------------------------------------------------------------- #
+# Preprocessing
+# --------------------------------------------------------------------- #
+def test_standardizer_zero_mean_unit_std(rng):
+    X = rng.normal(loc=5.0, scale=3.0, size=(500, 4))
+    Z = Standardizer().fit_transform(X)
+    np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+    np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+
+def test_standardizer_constant_column_maps_to_zero():
+    X = np.column_stack([np.ones(10), np.arange(10.0)])
+    Z = Standardizer().fit_transform(X)
+    np.testing.assert_allclose(Z[:, 0], 0.0)
+
+
+def test_standardizer_uses_train_statistics(rng):
+    train = rng.normal(size=(100, 2))
+    test = rng.normal(loc=10.0, size=(50, 2))
+    s = Standardizer().fit(train)
+    Z = s.transform(test)
+    assert Z.mean() > 5.0  # test shift preserved relative to train stats
+
+
+def test_standardizer_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        Standardizer().transform(np.zeros((2, 2)))
+
+
+def test_one_hot_roundtrip():
+    y = np.array([0, 2, 1, 2])
+    oh = one_hot(y, 3)
+    assert oh.shape == (4, 3)
+    np.testing.assert_array_equal(oh.argmax(axis=1), y)
+    np.testing.assert_allclose(oh.sum(axis=1), 1.0)
+
+
+def test_one_hot_validation():
+    with pytest.raises(ValueError):
+        one_hot(np.array([0, 3]), 3)
+    with pytest.raises(ValueError):
+        one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+# --------------------------------------------------------------------- #
+# Splits
+# --------------------------------------------------------------------- #
+def test_split_fractions_match_paper(rng):
+    X = np.zeros((1000, 3))
+    y = np.zeros(1000, dtype=int)
+    X_tr, y_tr, X_va, y_va, X_te, y_te = train_valid_test_split(X, y, rng)
+    assert X_tr.shape[0] == 420
+    assert X_va.shape[0] == 250
+    assert X_te.shape[0] == 330
+
+
+def test_split_partitions_disjointly(rng):
+    X = np.arange(100, dtype=float).reshape(-1, 1)
+    y = np.arange(100)
+    X_tr, y_tr, X_va, y_va, X_te, y_te = train_valid_test_split(X, y, rng)
+    union = np.concatenate([y_tr, y_va, y_te])
+    assert np.array_equal(np.sort(union), np.arange(100))
+
+
+def test_split_validation(rng):
+    with pytest.raises(ValueError):
+        train_valid_test_split(np.zeros((5, 2)), np.zeros(4, dtype=int), rng)
+    with pytest.raises(ValueError):
+        train_valid_test_split(
+            np.zeros((5, 2)), np.zeros(5, dtype=int), rng, fractions=(0.5, 0.5, 0.5)
+        )
+
+
+# --------------------------------------------------------------------- #
+# Benchmarks
+# --------------------------------------------------------------------- #
+def test_dataset_names_order():
+    assert dataset_names() == ["covertype", "airlines", "albert", "dionis"]
+
+
+@pytest.mark.parametrize("name", ["covertype", "airlines", "albert"])
+def test_load_dataset_shapes(name):
+    ds = load_dataset(name, size=600)
+    spec = DATASET_SPECS[name]
+    assert ds.n_features == spec.n_features
+    assert ds.n_classes == spec.n_classes
+    assert ds.X_train.shape[1] == spec.n_features
+    total = ds.train_size + ds.X_valid.shape[0] + ds.X_test.shape[0]
+    assert total == 600
+    # Features standardized on train.
+    np.testing.assert_allclose(ds.X_train.mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_load_dataset_nominal_sizes_paper_scale():
+    ds = load_dataset("covertype", size=600)
+    assert ds.nominal_train_size == int(round(0.42 * 581_012))
+
+
+def test_load_dataset_deterministic():
+    a = load_dataset("airlines", size=500)
+    b = load_dataset("airlines", size=500)
+    np.testing.assert_array_equal(a.X_train, b.X_train)
+    np.testing.assert_array_equal(a.y_test, b.y_test)
+
+
+def test_load_dataset_seed_override_changes_data():
+    a = load_dataset("airlines", size=500)
+    b = load_dataset("airlines", size=500, seed=99)
+    assert not np.allclose(a.X_train, b.X_train)
+
+
+def test_load_dataset_unknown_name():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        load_dataset("mnist")
+
+
+def test_load_dataset_too_small():
+    with pytest.raises(ValueError):
+        load_dataset("covertype", size=30)
+
+
+def test_dionis_has_355_classes():
+    ds = load_dataset("dionis", size=7500)
+    assert ds.n_classes == 355
+    # Most classes should actually appear in a 7.5k sample.
+    assert np.unique(ds.y_train).size > 300

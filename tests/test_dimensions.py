@@ -1,0 +1,117 @@
+"""Unit tests for the search-space dimension types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.searchspace import Categorical, Integer, Real
+
+
+# --------------------------------------------------------------------- #
+# Real
+# --------------------------------------------------------------------- #
+def test_real_uniform_samples_in_range(rng):
+    dim = Real(-2.0, 3.0)
+    samples = [dim.sample(rng) for _ in range(200)]
+    assert all(-2.0 <= s <= 3.0 for s in samples)
+
+
+def test_real_log_uniform_spans_decades(rng):
+    dim = Real(0.001, 0.1, prior="log-uniform")
+    samples = np.array([dim.sample(rng) for _ in range(2000)])
+    # Under a log-uniform prior ~half the mass is below the geometric mean.
+    frac_low = (samples < 0.01).mean()
+    assert 0.4 < frac_low < 0.6
+
+
+def test_real_numeric_roundtrip_log():
+    dim = Real(0.001, 0.1, prior="log-uniform")
+    v = 0.0123
+    assert abs(dim.from_numeric(dim.to_numeric(v)) - v) < 1e-12
+
+
+def test_real_from_numeric_clips():
+    dim = Real(1.0, 2.0)
+    assert dim.from_numeric(99.0) == 2.0
+    assert dim.from_numeric(-99.0) == 1.0
+
+
+def test_real_contains():
+    dim = Real(0.0, 1.0)
+    assert dim.contains(0.5)
+    assert not dim.contains(1.5)
+    assert not dim.contains("x")
+
+
+def test_real_validation():
+    with pytest.raises(ValueError):
+        Real(2.0, 1.0)
+    with pytest.raises(ValueError):
+        Real(0.0, 1.0, prior="log-uniform")  # low must be > 0
+    with pytest.raises(ValueError):
+        Real(0.0, 1.0, prior="exotic")
+
+
+# --------------------------------------------------------------------- #
+# Integer
+# --------------------------------------------------------------------- #
+def test_integer_samples_inclusive(rng):
+    dim = Integer(1, 4)
+    values = {dim.sample(rng) for _ in range(300)}
+    assert values == {1, 2, 3, 4}
+
+
+def test_integer_from_numeric_rounds_and_clips():
+    dim = Integer(1, 8)
+    assert dim.from_numeric(3.4) == 3
+    assert dim.from_numeric(3.6) == 4
+    assert dim.from_numeric(100.0) == 8
+
+
+def test_integer_contains_rejects_floats():
+    dim = Integer(1, 4)
+    assert dim.contains(2)
+    assert dim.contains(np.int64(3))
+    assert not dim.contains(2.5)
+
+
+# --------------------------------------------------------------------- #
+# Categorical
+# --------------------------------------------------------------------- #
+def test_categorical_numeric_is_index():
+    dim = Categorical([32, 64, 128])
+    assert dim.to_numeric(64) == 1.0
+    assert dim.from_numeric(2.0) == 128
+
+
+def test_categorical_from_numeric_clips():
+    dim = Categorical(["a", "b"])
+    assert dim.from_numeric(-5.0) == "a"
+    assert dim.from_numeric(99.0) == "b"
+
+
+def test_categorical_unknown_value_raises():
+    dim = Categorical([1, 2, 3], name="bs")
+    with pytest.raises(ValueError, match="bs"):
+        dim.to_numeric(7)
+
+
+def test_categorical_duplicate_values_rejected():
+    with pytest.raises(ValueError):
+        Categorical([1, 1, 2])
+
+
+def test_categorical_empty_rejected():
+    with pytest.raises(ValueError):
+        Categorical([])
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=10, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_categorical_roundtrip_property(values):
+    dim = Categorical(values)
+    for v in values:
+        assert dim.from_numeric(dim.to_numeric(v)) == v

@@ -1,0 +1,137 @@
+"""Unit tests for the data-parallel trainer (Horovod-equivalent semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataparallel import DataParallelTrainer
+from repro.nn import GraphNetwork, Trainer
+from repro.nn.graph_network import ArchitectureSpec, NodeOp
+
+from conftest import make_blobs
+
+
+def build(seed=0, d=8, classes=3):
+    spec = ArchitectureSpec((NodeOp(24, "relu"), NodeOp(16, "tanh")))
+    return GraphNetwork(spec, d, classes, np.random.default_rng(seed))
+
+
+def test_ring_and_mean_paths_agree(rng):
+    """Identical seeds: ring and naive-mean allreduce give the same run."""
+    X, y = make_blobs(np.random.default_rng(0), n=400)
+
+    def run(mode):
+        net = build(seed=3)
+        return DataParallelTrainer(
+            num_ranks=4, epochs=3, batch_size=16, learning_rate=0.005, allreduce=mode
+        ).fit(net, X[:320], y[:320], X[320:], y[320:], np.random.default_rng(9))
+
+    a = run("ring")
+    b = run("mean")
+    np.testing.assert_allclose(a.epoch_train_losses, b.epoch_train_losses, rtol=1e-8)
+    np.testing.assert_array_equal(a.epoch_val_accuracies, b.epoch_val_accuracies)
+
+
+def test_fused_path_matches_per_rank(rng):
+    """The concatenated-batch fast path equals averaged per-rank grads."""
+    X, y = make_blobs(np.random.default_rng(1), n=400)
+
+    def run(mode):
+        net = build(seed=5)
+        return DataParallelTrainer(
+            num_ranks=2, epochs=3, batch_size=32, learning_rate=0.005, allreduce=mode
+        ).fit(net, X[:320], y[:320], X[320:], y[320:], np.random.default_rng(4))
+
+    a = run("fused")
+    b = run("mean")
+    np.testing.assert_allclose(a.epoch_train_losses, b.epoch_train_losses, rtol=1e-6)
+
+
+def test_single_rank_matches_reference_trainer():
+    """n=1 data-parallel must reduce to the plain training loop."""
+    X, y = make_blobs(np.random.default_rng(2), n=300)
+    net_a = build(seed=7)
+    net_b = build(seed=7)
+    dp = DataParallelTrainer(num_ranks=1, epochs=3, batch_size=32, learning_rate=0.01).fit(
+        net_a, X[:240], y[:240], X[240:], y[240:], np.random.default_rng(11)
+    )
+    # The reference Trainer permutes all of X; the DP trainer with 1 rank has
+    # one shard = everything, so the dynamics are the same distributionally.
+    ref = Trainer(epochs=3, batch_size=32, learning_rate=0.01).fit(
+        net_b, X[:240], y[:240], X[240:], y[240:], np.random.default_rng(11)
+    )
+    assert abs(dp.best_val_accuracy - ref.best_val_accuracy) < 0.1
+
+
+def test_scaled_lr_applied():
+    X, y = make_blobs(np.random.default_rng(3), n=200)
+    net = build(seed=1)
+    trainer = DataParallelTrainer(num_ranks=4, epochs=1, batch_size=16, learning_rate=0.01)
+    trainer.fit(net, X[:160], y[:160], X[160:], y[160:], np.random.default_rng(0))
+    # No public handle on the optimizer, so check via behaviour: disabling
+    # linear scaling must change the trajectory.
+    net2 = build(seed=1)
+    t2 = DataParallelTrainer(
+        num_ranks=4, epochs=1, batch_size=16, learning_rate=0.01, apply_linear_scaling=False
+    )
+    r2 = t2.fit(net2, X[:160], y[:160], X[160:], y[160:], np.random.default_rng(0))
+    net3 = build(seed=1)
+    r3 = DataParallelTrainer(num_ranks=4, epochs=1, batch_size=16, learning_rate=0.04,
+                             apply_linear_scaling=False).fit(
+        net3, X[:160], y[:160], X[160:], y[160:], np.random.default_rng(0)
+    )
+    trained = net.get_weights()
+    manual = net3.get_weights()
+    for a, b in zip(trained, manual):
+        np.testing.assert_allclose(a, b, rtol=1e-8)  # 4 * 0.01 == 0.04
+    assert r2.epoch_train_losses != r3.epoch_train_losses  # unscaled differs
+
+
+def test_training_learns(rng):
+    X, y = make_blobs(np.random.default_rng(4), n=500)
+    net = build(seed=2)
+    result = DataParallelTrainer(num_ranks=2, epochs=8, batch_size=16, learning_rate=0.005).fit(
+        net, X[:400], y[:400], X[400:], y[400:], rng
+    )
+    assert result.best_val_accuracy > 0.8
+
+
+def test_too_many_ranks_raises(rng):
+    X, y = make_blobs(np.random.default_rng(5), n=10)
+    with pytest.raises(ValueError):
+        DataParallelTrainer(num_ranks=8, epochs=1, batch_size=4).fit(
+            build(), X[:4], y[:4], X[4:], y[4:], rng
+        )
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DataParallelTrainer(num_ranks=0)
+    with pytest.raises(ValueError):
+        DataParallelTrainer(num_ranks=1, allreduce="tree")
+
+
+def test_large_effective_batch_degrades_accuracy():
+    """The paper's core premise: past the scaling limit, accuracy suffers.
+
+    With a small training set, n=8 (effective batch 8x256 > n_train) takes
+    one noisy step per epoch with an 8x learning rate and must do worse
+    than n=1 on average.
+    """
+    from repro.datasets import make_tabular_classification
+
+    X, y = make_tabular_classification(
+        1500, 8, 3, np.random.default_rng(6), class_sep=1.2, mixing_depth=2
+    )
+    accs = {}
+    for n in (1, 8):
+        scores = []
+        for seed in range(3):
+            net = build(seed=seed)
+            res = DataParallelTrainer(
+                num_ranks=n, epochs=6, batch_size=128, learning_rate=0.02, warmup_epochs=2
+            ).fit(net, X[:1200], y[:1200], X[1200:], y[1200:], np.random.default_rng(seed))
+            scores.append(res.best_val_accuracy)
+        accs[n] = np.mean(scores)
+    assert accs[1] > accs[8]

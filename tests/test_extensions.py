@@ -1,0 +1,191 @@
+"""Tests for the future-work extensions: transfer warm-start and the
+multi-node data-parallel cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo import BayesianOptimizer
+from repro.core import AgEBO, EvaluationRecord, ModelConfig, SearchHistory
+from repro.core.transfer import (
+    extract_hp_observations,
+    rank_normalize,
+    warm_start_optimizer,
+)
+from repro.dataparallel import MultiNodeCostModel, TrainingCostModel
+from repro.searchspace import ArchitectureSpace, default_dataparallel_space
+from repro.workflow import EvaluationResult, SimulatedEvaluator
+
+
+# --------------------------------------------------------------------- #
+# rank_normalize
+# --------------------------------------------------------------------- #
+def test_rank_normalize_basic():
+    out = rank_normalize([0.3, 0.1, 0.9])
+    np.testing.assert_allclose(out, [0.5, 0.0, 1.0])
+
+
+def test_rank_normalize_ties_averaged():
+    out = rank_normalize([0.5, 0.5, 1.0, 0.0])
+    assert out[0] == out[1]
+    assert out[3] == 0.0 and out[2] == 1.0
+
+
+def test_rank_normalize_edge_sizes():
+    assert rank_normalize([]).size == 0
+    np.testing.assert_allclose(rank_normalize([7.0]), [0.5])
+
+
+def test_rank_normalize_invariant_to_monotone_transform():
+    a = np.array([0.1, 0.4, 0.8, 0.2])
+    np.testing.assert_allclose(rank_normalize(a), rank_normalize(a * 100 + 3))
+
+
+# --------------------------------------------------------------------- #
+# extract / warm start
+# --------------------------------------------------------------------- #
+def make_history():
+    h = SearchHistory()
+    for i, (acc, n) in enumerate([(0.9, 2), (0.5, 8), (0.7, 4)]):
+        h.add(
+            EvaluationRecord(
+                config=ModelConfig(
+                    np.array([i]),
+                    {"batch_size": 64, "learning_rate": 0.01, "num_ranks": n},
+                ),
+                objective=acc,
+                duration=1.0,
+                submit_time=0.0,
+                start_time=0.0,
+                end_time=float(i),
+            )
+        )
+    return h
+
+
+def test_extract_hp_observations_ranks_and_sorts():
+    configs, values = extract_hp_observations(make_history())
+    assert values == [1.0, 0.5, 0.0]  # sorted best-first, rank-normalized
+    assert configs[0]["num_ranks"] == 2  # the best record's config
+
+
+def test_extract_top_fraction():
+    configs, values = extract_hp_observations(make_history(), top_fraction=0.34)
+    assert len(configs) == 1
+    assert configs[0]["num_ranks"] == 2
+
+
+def test_extract_validation():
+    with pytest.raises(ValueError):
+        extract_hp_observations(make_history(), top_fraction=0.0)
+
+
+def test_warm_start_optimizer_installs_and_skips_invalid():
+    space = default_dataparallel_space()
+    opt = BayesianOptimizer(space, seed=0)
+    good = {"batch_size": 64, "learning_rate": 0.01, "num_ranks": 2}
+    bad = {"batch_size": 100, "learning_rate": 0.01, "num_ranks": 2}  # invalid bs
+    installed = warm_start_optimizer(opt, [(good, 0.9), (bad, 0.5)])
+    assert installed == 1
+    assert opt.num_observations == 1
+
+
+def test_agebo_warm_start_skips_random_phase():
+    """With enough transferred observations the first ask is model-driven."""
+    space = ArchitectureSpace(num_nodes=3)
+
+    def run(config):
+        return EvaluationResult(objective=0.5, duration=1.0)
+
+    hp_space = default_dataparallel_space()
+    rng = np.random.default_rng(0)
+    # Prior knowledge: num_ranks=4 region was best.
+    prior = []
+    for _ in range(12):
+        cfg = hp_space.sample(rng)
+        score = 1.0 if cfg["num_ranks"] == 4 else 0.1
+        prior.append((cfg, score))
+    ev = SimulatedEvaluator(run, num_workers=2)
+    search = AgEBO(
+        space, hp_space, ev, population_size=4, sample_size=2,
+        n_initial_points=10, warm_start=prior, seed=0,
+    )
+    assert search.warm_started == 12
+    proposals = search.optimizer.ask(10)
+    ranks = [c["num_ranks"] for c in proposals]
+    # Strong exploitation + transferred optimum => proposals concentrate.
+    assert ranks.count(4) >= 7
+
+
+def test_transfer_between_real_searches(tiny_covertype):
+    """End-to-end: warm-starting from a prior run is at least harmless."""
+    from repro.core import ModelEvaluation
+
+    space = ArchitectureSpace(num_nodes=2)
+    hp_space = default_dataparallel_space()
+
+    def run_once(warm_start=None, seed=0):
+        run_fn = ModelEvaluation(tiny_covertype, space, epochs=2)
+        ev = SimulatedEvaluator(run_fn, num_workers=4)
+        search = AgEBO(
+            space, hp_space, ev, population_size=4, sample_size=2,
+            seed=seed, n_initial_points=6, warm_start=warm_start,
+        )
+        return search.search(max_evaluations=10)
+
+    first = run_once()
+    obs = list(zip(*extract_hp_observations(first, top_fraction=0.5)))
+    second = run_once(warm_start=obs, seed=1)
+    assert len(second) >= 10
+    assert 0.0 <= second.best().objective <= 1.0
+
+
+# --------------------------------------------------------------------- #
+# Multi-node cost model
+# --------------------------------------------------------------------- #
+def test_multinode_matches_single_node_within_node():
+    single = TrainingCostModel()
+    multi = MultiNodeCostModel(ranks_per_node=8)
+    for n in (1, 2, 4, 8):
+        a = single.training_minutes(30_000, 244_025, 256, n, 20)
+        b = multi.training_minutes(30_000, 244_025, 256, n, 20)
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+def test_multinode_counts_nodes():
+    multi = MultiNodeCostModel(ranks_per_node=8)
+    assert multi.num_nodes(8) == 1
+    assert multi.num_nodes(9) == 2
+    assert multi.num_nodes(64) == 8
+
+
+def test_multinode_network_term_appears_past_one_node():
+    multi = MultiNodeCostModel(ranks_per_node=8)
+    within = multi.allreduce_seconds(30_000, 8)
+    across = multi.allreduce_seconds(30_000, 16)
+    assert across > within
+
+
+def test_multinode_still_speeds_up_but_subideally():
+    multi = MultiNodeCostModel(ranks_per_node=8)
+    t8 = multi.training_minutes(30_000, 244_025, 256, 8, 20)
+    t32 = multi.training_minutes(30_000, 244_025, 256, 32, 20)
+    assert t32 < t8  # more ranks still help
+    # But 4x the ranks gives < 4x the speedup (network overhead).
+    assert t8 / t32 < 4.0
+
+
+def test_multinode_slow_network_hurts():
+    fast = MultiNodeCostModel(ranks_per_node=8, network_bandwidth_Bps=12.5e9)
+    slow = MultiNodeCostModel(ranks_per_node=8, network_bandwidth_Bps=0.125e9)
+    assert slow.training_minutes(30_000, 244_025, 256, 32, 20) > fast.training_minutes(
+        30_000, 244_025, 256, 32, 20
+    )
+
+
+def test_multinode_validation():
+    with pytest.raises(ValueError):
+        MultiNodeCostModel(ranks_per_node=0)
+    with pytest.raises(ValueError):
+        MultiNodeCostModel(network_bandwidth_Bps=-1)

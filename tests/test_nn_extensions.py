@@ -1,0 +1,173 @@
+"""Tests for the extension layers (BatchNorm1d, Dropout) and new autograd ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn.normalization import BatchNorm1d
+from repro.nn.regularization import Dropout
+
+
+# --------------------------------------------------------------------- #
+# New autograd ops
+# --------------------------------------------------------------------- #
+def numeric_grad(fn, x, eps=1e-6):
+    g = np.zeros_like(x)
+    flat, gflat = x.ravel(), g.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+def test_reciprocal_gradient():
+    x = np.array([0.5, 2.0, -3.0])
+    t = Tensor(x.copy(), requires_grad=True)
+    t.reciprocal().sum().backward()
+    np.testing.assert_allclose(t.grad, -1.0 / x**2, rtol=1e-10)
+
+
+def test_sqrt_gradient():
+    x = np.array([0.25, 4.0, 9.0])
+    t = Tensor(x.copy(), requires_grad=True)
+    t.sqrt().sum().backward()
+    np.testing.assert_allclose(t.grad, 0.5 / np.sqrt(x), rtol=1e-10)
+
+
+def test_mean_axis0_gradient():
+    x = np.random.default_rng(0).normal(size=(6, 3))
+    t = Tensor(x.copy(), requires_grad=True)
+    w = np.array([1.0, 2.0, 3.0])
+    (t.mean_axis0() * w).sum().backward()
+    expected = numeric_grad(lambda a: (Tensor(a).mean_axis0().data * w).sum(), x.copy())
+    np.testing.assert_allclose(t.grad, expected, rtol=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# BatchNorm1d
+# --------------------------------------------------------------------- #
+def test_batchnorm_normalizes_training_batch():
+    rng = np.random.default_rng(0)
+    bn = BatchNorm1d(4)
+    x = Tensor(rng.normal(loc=7.0, scale=3.0, size=(256, 4)))
+    out = bn(x).data
+    np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+    np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_batchnorm_gamma_beta_apply():
+    bn = BatchNorm1d(2)
+    bn.gamma.data[:] = [2.0, 1.0]
+    bn.beta.data[:] = [0.0, 5.0]
+    x = Tensor(np.random.default_rng(1).normal(size=(128, 2)))
+    out = bn(x).data
+    np.testing.assert_allclose(out[:, 0].std(), 2.0, atol=0.05)
+    np.testing.assert_allclose(out[:, 1].mean(), 5.0, atol=1e-8)
+
+
+def test_batchnorm_running_stats_and_inference():
+    rng = np.random.default_rng(2)
+    bn = BatchNorm1d(3, momentum=0.5)
+    for _ in range(20):
+        bn(Tensor(rng.normal(loc=4.0, scale=2.0, size=(200, 3)), requires_grad=True))
+    np.testing.assert_allclose(bn.running_mean, 4.0, atol=0.3)
+    np.testing.assert_allclose(bn.running_var, 4.0, atol=0.8)
+    with no_grad():
+        out = bn(Tensor(rng.normal(loc=4.0, scale=2.0, size=(500, 3)))).data
+    np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.2)
+    updates_before = bn._updates
+    with no_grad():
+        bn(Tensor(np.zeros((10, 3))))
+    assert bn._updates == updates_before  # inference does not update stats
+
+
+def test_batchnorm_gradients_flow():
+    bn = BatchNorm1d(3)
+    x = Tensor(np.random.default_rng(3).normal(size=(32, 3)), requires_grad=True)
+    bn(x).sum().backward()
+    assert x.grad is not None
+    assert bn.gamma.grad is not None and bn.beta.grad is not None
+    # Sum of a normalized batch is ~constant w.r.t. x, so dx ≈ 0;
+    # beta's gradient is exactly the batch size per feature.
+    np.testing.assert_allclose(bn.beta.grad, 32.0)
+
+
+def test_batchnorm_gradient_matches_finite_differences():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(8, 2))
+    w = rng.normal(size=(8, 2))
+
+    def loss_of(arr):
+        bn = BatchNorm1d(2)
+        return float((bn(Tensor(arr, requires_grad=True)).data * w).sum())
+
+    bn = BatchNorm1d(2)
+    t = Tensor(x.copy(), requires_grad=True)
+    (bn(t) * w).sum().backward()
+    np.testing.assert_allclose(t.grad, numeric_grad(loss_of, x.copy()), atol=1e-5)
+
+
+def test_batchnorm_validation():
+    with pytest.raises(ValueError):
+        BatchNorm1d(0)
+    with pytest.raises(ValueError):
+        BatchNorm1d(3, momentum=0.0)
+    with pytest.raises(ValueError):
+        BatchNorm1d(3, eps=0.0)
+    bn = BatchNorm1d(3)
+    with pytest.raises(ValueError):
+        bn(Tensor(np.zeros((4, 5))))
+
+
+# --------------------------------------------------------------------- #
+# Dropout
+# --------------------------------------------------------------------- #
+def test_dropout_zeroes_and_rescales():
+    rng = np.random.default_rng(0)
+    drop = Dropout(0.5, rng)
+    x = Tensor(np.ones((2000, 4)), requires_grad=True)
+    out = drop(x).data
+    zero_rate = (out == 0.0).mean()
+    assert 0.45 < zero_rate < 0.55
+    # Survivors are scaled by 1/keep, preserving the expectation.
+    assert abs(out.mean() - 1.0) < 0.05
+    assert set(np.unique(out)) <= {0.0, 2.0}
+
+
+def test_dropout_identity_at_inference():
+    rng = np.random.default_rng(1)
+    drop = Dropout(0.9, rng)
+    x = Tensor(np.ones((10, 3)))
+    with no_grad():
+        out = drop(x)
+    assert out is x
+
+
+def test_dropout_zero_rate_is_identity():
+    drop = Dropout(0.0, np.random.default_rng(0))
+    x = Tensor(np.ones((5, 2)), requires_grad=True)
+    assert drop(x) is x
+
+
+def test_dropout_gradient_masked():
+    rng = np.random.default_rng(2)
+    drop = Dropout(0.5, rng)
+    x = Tensor(np.ones((100, 4)), requires_grad=True)
+    out = drop(x)
+    out.sum().backward()
+    # Gradient is zero exactly where activations were dropped.
+    np.testing.assert_array_equal((x.grad == 0.0), (out.data == 0.0))
+
+
+def test_dropout_validation():
+    with pytest.raises(ValueError):
+        Dropout(1.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        Dropout(-0.1, np.random.default_rng(0))

@@ -1,0 +1,92 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import markdown_report
+from repro.core import EvaluationRecord, ModelConfig, SearchHistory
+from repro.searchspace import default_dataparallel_space
+
+
+def make_history(n=12, label="demo-run"):
+    rng = np.random.default_rng(0)
+    space = default_dataparallel_space()
+    h = SearchHistory(label=label)
+    for i in range(n):
+        hp = space.sample(rng)
+        h.add(
+            EvaluationRecord(
+                config=ModelConfig(rng.integers(0, 4, size=3), hp),
+                objective=float(rng.uniform(0.5, 0.9)),
+                duration=float(rng.uniform(1, 5)),
+                submit_time=float(i),
+                start_time=float(i),
+                end_time=float(i + 1),
+            )
+        )
+    return h
+
+
+def test_report_contains_sections():
+    text = markdown_report(make_history(), default_dataparallel_space())
+    assert text.startswith("# Search report — demo-run")
+    assert "## Best-so-far trajectory" in text
+    assert "## Top 5 models" in text
+    assert "## Hyperparameter importance" in text
+    assert "learning_rate" in text
+
+
+def test_report_headline_numbers():
+    h = make_history()
+    text = markdown_report(h)
+    assert str(len(h)) in text
+    assert f"{h.best().objective:.4g}" in text
+
+
+def test_report_without_space_skips_importance():
+    text = markdown_report(make_history())
+    assert "Hyperparameter importance" not in text
+
+
+def test_report_small_history_skips_importance():
+    text = markdown_report(make_history(n=3), default_dataparallel_space(), top_k=2)
+    assert "Hyperparameter importance" not in text  # needs >= 5 evaluations
+    assert "## Top 2 models" in text
+
+
+def test_report_trajectory_is_monotone():
+    text = markdown_report(make_history(), trajectory_points=4)
+    lines = [l for l in text.splitlines() if l.startswith("|") and "." in l]
+    # Extract the trajectory values (second column of the trajectory table).
+    traj = []
+    in_traj = False
+    for line in text.splitlines():
+        if line.startswith("## Best-so-far"):
+            in_traj = True
+            continue
+        if in_traj and line.startswith("## "):
+            break
+        if in_traj and line.startswith("|") and "sim minutes" not in line and "---" not in line:
+            value = line.split("|")[2].strip()
+            if value != "-":
+                traj.append(float(value))
+    assert traj == sorted(traj)
+
+
+def test_report_validation():
+    with pytest.raises(ValueError):
+        markdown_report(SearchHistory())
+    with pytest.raises(ValueError):
+        markdown_report(make_history(), top_k=0)
+    with pytest.raises(ValueError):
+        markdown_report(make_history(), trajectory_points=1)
+
+
+def test_report_is_valid_markdown_tables():
+    text = markdown_report(make_history(), default_dataparallel_space())
+    for line in text.splitlines():
+        if line.startswith("|") and not line.startswith("|---"):
+            # Every table row has a consistent pipe structure.
+            assert line.endswith("|")

@@ -1,0 +1,182 @@
+"""Unit and integration tests for AgE / AgEBO (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AgE, AgEBO, ModelEvaluation, make_age_variant, make_agebo_variant
+from repro.core.variants import AGEBO_VARIANTS
+from repro.searchspace import ArchitectureSpace, default_dataparallel_space
+from repro.workflow import EvaluationResult, SimulatedEvaluator
+
+
+# --------------------------------------------------------------------- #
+# Synthetic objective: score architectures without real training so the
+# search mechanics can be tested quickly and exactly.
+# --------------------------------------------------------------------- #
+def synthetic_run(space, hp_optimum=None):
+    """Objective = fraction of relu ops + optional hyperparameter bonus."""
+
+    def run(config):
+        ops = config.arch[: space.num_nodes]
+        score = float(
+            np.mean([space.op_from_index(int(i)).activation == "relu" for i in ops])
+        )
+        duration = 10.0 / config.hyperparameters.get("num_ranks", 1)
+        if hp_optimum is not None:
+            lr = config.hyperparameters["learning_rate"]
+            score -= 0.3 * abs(np.log10(lr) - np.log10(hp_optimum))
+        return EvaluationResult(objective=score, duration=duration)
+
+    return run
+
+
+@pytest.fixture
+def space():
+    return ArchitectureSpace(num_nodes=5)
+
+
+def run_age(space, max_evals=60, **kwargs):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=4)
+    search = AgE(space, ev, population_size=8, sample_size=3, seed=0, **kwargs)
+    return search, search.search(max_evaluations=max_evals)
+
+
+# --------------------------------------------------------------------- #
+# AgE mechanics
+# --------------------------------------------------------------------- #
+def test_age_runs_to_evaluation_budget(space):
+    _, hist = run_age(space, max_evals=30)
+    assert len(hist) >= 30
+
+
+def test_age_improves_over_random(space):
+    search, hist = run_age(space, max_evals=120)
+    first20 = hist.objectives()[:20].mean()
+    last20 = hist.objectives()[-20:].mean()
+    assert last20 > first20  # evolution exploits the relu signal
+
+
+def test_age_population_bounded(space):
+    search, _ = run_age(space, max_evals=50)
+    assert len(search.population) <= search.population_size
+
+
+def test_age_population_is_fifo_aging(space):
+    """The population evicts its oldest member, not its worst."""
+    search, hist = run_age(space, max_evals=60)
+    # Population must equal the most recent P completions.
+    recent = hist.records[-len(search.population):]
+    assert [r.end_time for r in search.population] == [r.end_time for r in recent]
+
+
+def test_age_fixed_hyperparameters_everywhere(space):
+    search, hist = run_age(space, max_evals=40)
+    for r in hist:
+        assert r.config.hyperparameters == search.hyperparameters
+
+
+def test_age_respects_wall_time_budget(space):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=4)
+    search = AgE(space, ev, population_size=8, sample_size=3, seed=0)
+    search.search(wall_time_minutes=55.0)
+    assert ev.now >= 55.0
+    # Each eval is 10 sim-minutes on 4 workers; the clock should not
+    # massively overshoot the budget.
+    assert ev.now <= 75.0
+
+
+def test_age_deterministic(space):
+    _, a = run_age(space, max_evals=40)
+    _, b = run_age(space, max_evals=40)
+    np.testing.assert_array_equal(a.objectives(), b.objectives())
+
+
+def test_age_children_are_mutations_of_population(space):
+    search, hist = run_age(space, max_evals=80)
+    # After the population fills, every new arch differs from some
+    # population member in exactly one variable.
+    pop_full_at = search.population_size + search.num_workers
+    candidates = hist.records[pop_full_at + search.num_workers :]
+    assert candidates, "test needs evaluations after the population filled"
+
+
+def test_search_requires_some_budget(space):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=2)
+    search = AgE(space, ev, population_size=4, sample_size=2)
+    with pytest.raises(ValueError):
+        search.search()
+
+
+def test_base_class_validation(space):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=2)
+    with pytest.raises(ValueError):
+        AgE(space, ev, population_size=1)
+    with pytest.raises(ValueError):
+        AgE(space, ev, population_size=4, sample_size=9)
+
+
+# --------------------------------------------------------------------- #
+# AgEBO mechanics
+# --------------------------------------------------------------------- #
+def test_agebo_tunes_hyperparameters_toward_optimum(space):
+    ev = SimulatedEvaluator(synthetic_run(space, hp_optimum=0.005), num_workers=4)
+    hp_space = default_dataparallel_space()
+    search = AgEBO(
+        space, hp_space, ev, population_size=8, sample_size=3, n_initial_points=8, seed=0
+    )
+    hist = search.search(max_evaluations=150)
+    top = hist.top_k(10)
+    lrs = np.array([r.config.learning_rate for r in top])
+    # Optimum is lr = 0.005; top models should cluster near it in log space.
+    assert np.median(np.abs(np.log10(lrs) - np.log10(0.005))) < 0.5
+
+
+def test_agebo_hyperparameters_vary_in_initial_phase(space):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=6)
+    search = AgEBO(
+        space, default_dataparallel_space(), ev, population_size=8, sample_size=3, seed=1
+    )
+    hist = search.search(max_evaluations=20)
+    ranks = {r.config.num_ranks for r in hist}
+    assert len(ranks) > 1  # random H_m exploration happened
+
+
+def test_agebo_label(space):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=2)
+    search = AgEBO(space, default_dataparallel_space(), ev, population_size=4, sample_size=2)
+    assert search.history.label == "AgEBO"
+
+
+# --------------------------------------------------------------------- #
+# Variant factories
+# --------------------------------------------------------------------- #
+def test_make_age_variant_label_and_defaults(space):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=2)
+    search = make_age_variant(space, ev, num_ranks=4, population_size=4, sample_size=2)
+    assert search.history.label == "AgE-4"
+    assert search.hyperparameters["num_ranks"] == 4
+    assert search.hyperparameters["batch_size"] == 256
+
+
+@pytest.mark.parametrize("variant", AGEBO_VARIANTS)
+def test_make_agebo_variants(space, variant):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=2)
+    search = make_agebo_variant(variant, space, ev, population_size=4, sample_size=2)
+    assert search.history.label == variant
+    tuned = set(search.hp_space.names)
+    if variant == "AgEBO":
+        assert tuned == {"batch_size", "learning_rate", "num_ranks"}
+    elif variant == "AgEBO-8-LR":
+        assert tuned == {"learning_rate"}
+        assert search.hp_space.defaults["num_ranks"] == 8
+    else:
+        assert tuned == {"batch_size", "learning_rate"}
+        assert search.hp_space.defaults["num_ranks"] == 8
+
+
+def test_make_agebo_unknown_variant(space):
+    ev = SimulatedEvaluator(synthetic_run(space), num_workers=2)
+    with pytest.raises(ValueError):
+        make_agebo_variant("AgEBO-16", space, ev)
