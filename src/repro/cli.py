@@ -15,6 +15,13 @@ Run the AgE baseline with 4 static ranks::
 
     python -m repro.cli search --dataset airlines --method AgE --num-ranks 4
 
+Checkpoint a campaign and resume it after a crash (continues to a
+bit-identical final history)::
+
+    python -m repro.cli search --dataset covertype --checkpoint camp.ckpt \
+        --max-evaluations 64
+    python -m repro.cli search --resume camp.ckpt --max-evaluations 64
+
 Fit the AutoGluon-like ensemble::
 
     python -m repro.cli baseline --dataset albert --system autogluon
@@ -23,6 +30,7 @@ Fit the AutoGluon-like ensemble::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import utilization_summary
@@ -30,9 +38,17 @@ from repro.core import ModelEvaluation, make_age_variant, make_agebo_variant
 from repro.core.variants import AGEBO_VARIANTS
 from repro.datasets import DATASET_SPECS, dataset_names, load_dataset
 from repro.searchspace import ArchitectureSpace
-from repro.workflow import SimulatedEvaluator
+from repro.workflow import FaultInjector, FaultPolicy, SimulatedEvaluator
 
 __all__ = ["main", "build_parser"]
+
+# Arguments a checkpoint must pin so --resume rebuilds the same campaign.
+_RESUME_KEYS = (
+    "dataset", "method", "num_ranks", "size", "num_nodes", "workers", "epochs",
+    "population", "sample", "kappa", "seed",
+    "on_error", "max_retries", "retry_backoff", "timeout", "failure_objective",
+    "crash_prob", "hang_prob", "corrupt_prob", "hang_factor", "fault_seed",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list the available benchmarks")
 
     p_search = sub.add_parser("search", help="run a NAS / joint search")
-    p_search.add_argument("--dataset", choices=dataset_names(), required=True)
+    p_search.add_argument("--dataset", choices=dataset_names(), default=None,
+                          help="required unless --resume restores it")
     p_search.add_argument(
         "--method", choices=("AgE",) + AGEBO_VARIANTS, default="AgEBO"
     )
@@ -67,6 +84,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the search history to this JSON file")
     p_search.add_argument("--report", type=str, default=None,
                           help="write a markdown campaign report to this file")
+    # Fault tolerance
+    p_search.add_argument("--on-error", choices=("raise", "penalize", "retry"),
+                          default="penalize",
+                          help="evaluation-failure policy (default: penalize)")
+    p_search.add_argument("--max-retries", type=int, default=2,
+                          help="retries before penalizing (--on-error retry)")
+    p_search.add_argument("--retry-backoff", type=float, default=0.0,
+                          help="base exponential backoff between retries (minutes)")
+    p_search.add_argument("--timeout", type=float, default=None,
+                          help="per-job timeout in simulated minutes")
+    p_search.add_argument("--failure-objective", type=float, default=0.0,
+                          help="objective recorded for penalized evaluations")
+    # Fault injection (testing / demos)
+    p_search.add_argument("--crash-prob", type=float, default=0.0)
+    p_search.add_argument("--hang-prob", type=float, default=0.0)
+    p_search.add_argument("--corrupt-prob", type=float, default=0.0)
+    p_search.add_argument("--hang-factor", type=float, default=20.0)
+    p_search.add_argument("--fault-seed", type=int, default=0)
+    # Checkpoint / resume
+    p_search.add_argument("--checkpoint", type=str, default=None,
+                          help="write a resumable checkpoint to this file")
+    p_search.add_argument("--checkpoint-every", type=int, default=1,
+                          help="checkpoint every N completed iterations")
+    p_search.add_argument("--resume", type=str, default=None,
+                          help="resume a checkpointed campaign (other search "
+                               "arguments are restored from the checkpoint; "
+                               "budgets may be extended)")
 
     p_base = sub.add_parser("baseline", help="run an AutoML baseline")
     p_base.add_argument("--dataset", choices=dataset_names(), required=True)
@@ -89,28 +133,81 @@ def _cmd_datasets(out) -> int:
 
 
 def _cmd_search(args, out) -> int:
+    if args.resume:
+        from repro.core import load_checkpoint
+
+        try:
+            saved = load_checkpoint(args.resume).get("extra", {}).get("cli", {})
+        except FileNotFoundError:
+            raise SystemExit(f"search: checkpoint not found: {args.resume}")
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"search: cannot resume from {args.resume}: {exc}")
+        for key in _RESUME_KEYS:
+            if key in saved:
+                setattr(args, key, saved[key])
+        print(f"resuming campaign from {args.resume}", file=out)
+    if args.dataset is None:
+        raise SystemExit("search: --dataset is required unless --resume restores it")
     ds = load_dataset(args.dataset, size=args.size)
     print(ds.summary(), file=out)
     space = ArchitectureSpace(num_nodes=args.num_nodes)
     evaluation = ModelEvaluation(ds, space, epochs=args.epochs, nominal_epochs=20)
-    evaluator = SimulatedEvaluator(evaluation, num_workers=args.workers)
-    common = dict(
-        population_size=args.population, sample_size=args.sample, seed=args.seed
-    )
-    if args.method == "AgE":
-        search = make_age_variant(space, evaluator, num_ranks=args.num_ranks, **common)
-    else:
-        search = make_agebo_variant(
-            args.method, space, evaluator, kappa=args.kappa, **common
+    run_function = evaluation
+    try:
+        if args.crash_prob or args.hang_prob or args.corrupt_prob:
+            run_function = FaultInjector(
+                evaluation,
+                crash_prob=args.crash_prob,
+                hang_prob=args.hang_prob,
+                corrupt_prob=args.corrupt_prob,
+                hang_factor=args.hang_factor,
+                seed=args.fault_seed,
+            )
+        policy = FaultPolicy(
+            on_error=args.on_error,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            timeout=args.timeout,
+            failure_objective=args.failure_objective,
         )
+    except ValueError as exc:
+        raise SystemExit(f"search: {exc}")
+    if args.resume:
+        from repro.core import AgE, AgEBO
+        from repro.core.variants import variant_hp_space
+
+        if args.method == "AgE":
+            search = AgE.resume(args.resume, space, run_function)
+        else:
+            hp_space = variant_hp_space(args.method)
+            search = AgEBO.resume(args.resume, space, hp_space, run_function)
+        evaluator = search.evaluator
+    else:
+        evaluator = SimulatedEvaluator(
+            run_function, num_workers=args.workers, fault_policy=policy
+        )
+        common = dict(
+            population_size=args.population, sample_size=args.sample, seed=args.seed
+        )
+        if args.method == "AgE":
+            search = make_age_variant(space, evaluator, num_ranks=args.num_ranks, **common)
+        else:
+            search = make_agebo_variant(
+                args.method, space, evaluator, kappa=args.kappa, **common
+            )
+    search.checkpoint_metadata = {"cli": {key: getattr(args, key) for key in _RESUME_KEYS}}
     history = search.search(
-        max_evaluations=args.max_evaluations, wall_time_minutes=args.wall_minutes
+        max_evaluations=args.max_evaluations,
+        wall_time_minutes=args.wall_minutes,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
     util = utilization_summary(evaluator)
+    failures = f", {history.num_failures} penalized" if history.num_failures else ""
     print(
         f"\n{history.label}: {len(history)} evaluations in "
         f"{evaluator.now:.1f} simulated minutes "
-        f"({util.utilization:.0%} utilization)",
+        f"({util.utilization:.0%} utilization{failures})",
         file=out,
     )
     print(f"{'rank':<5} {'val acc':<9} {'bs':<5} {'lr':<9} {'n':<3} duration", file=out)

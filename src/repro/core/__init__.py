@@ -18,8 +18,10 @@ from repro.core.age import AgE
 from repro.core.agebo import AgEBO
 from repro.core.variants import make_age_variant, make_agebo_variant
 from repro.core.serialization import (
+    load_checkpoint,
     load_history,
     load_model_weights,
+    save_checkpoint,
     save_history,
     save_model_weights,
 )
@@ -28,6 +30,8 @@ from repro.core.transfer import extract_hp_observations
 __all__ = [
     "save_history",
     "load_history",
+    "save_checkpoint",
+    "load_checkpoint",
     "save_model_weights",
     "load_model_weights",
     "extract_hp_observations",

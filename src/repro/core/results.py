@@ -55,6 +55,14 @@ class SearchHistory:
     def durations(self) -> np.ndarray:
         return np.array([r.duration for r in self.records])
 
+    def failures(self) -> list[EvaluationRecord]:
+        """Records penalized by the fault policy (metadata ``failed``)."""
+        return [r for r in self.records if r.metadata.get("failed")]
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.failures())
+
     def best(self) -> EvaluationRecord:
         """Highest-objective record."""
         if not self.records:

@@ -74,6 +74,16 @@ class AgingEvolutionBase:
         # (the ablation) evicts the worst member instead.
         self.population: collections.deque[EvaluationRecord] = collections.deque()
         self.history = SearchHistory(label=label or type(self).__name__)
+        # Resume bookkeeping: whether the initial W submissions happened,
+        # how many full gather→submit iterations have completed, and any
+        # gathered results whose replacements were not yet submitted when a
+        # budget stop interrupted the loop.
+        self._initialized = False
+        self._iterations = 0
+        self._pending_results: list[EvaluationRecord] = []
+        # Free-form dict stored inside checkpoints (the CLI records the
+        # dataset/space arguments here so --resume can rebuild them).
+        self.checkpoint_metadata: dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     # Hooks implemented by AgE / AgEBO
@@ -121,22 +131,40 @@ class AgingEvolutionBase:
         self,
         max_evaluations: int | None = None,
         wall_time_minutes: float | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
     ) -> SearchHistory:
         """Run Algorithm 1 until an evaluation or time budget is hit.
 
         ``wall_time_minutes`` is measured on the evaluator's clock
-        (simulated minutes for the simulated backend).
+        (simulated minutes for the simulated backend).  When
+        ``checkpoint_path`` is given, the full search state is written
+        there after every ``checkpoint_every``-th completed iteration —
+        always at a quiescent point (after the replacement submissions), so
+        resuming from any checkpoint replays the remaining campaign
+        bit-identically.  Calling ``search`` again on a restored instance
+        continues the same campaign (the initial submissions are skipped).
         """
         if max_evaluations is None and wall_time_minutes is None:
             raise ValueError("need at least one of max_evaluations / wall_time_minutes")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
-        # Initialization (lines 3-7): W random submissions.
-        initial_hps = self._initial_hyperparameters(self.num_workers)
-        initial = [
-            ModelConfig(arch=self.space.random_sample(self.rng), hyperparameters=hp)
-            for hp in initial_hps
-        ]
-        self.evaluator.submit(initial)
+        if not self._initialized:
+            # Initialization (lines 3-7): W random submissions.
+            initial_hps = self._initial_hyperparameters(self.num_workers)
+            initial = [
+                ModelConfig(arch=self.space.random_sample(self.rng), hyperparameters=hp)
+                for hp in initial_hps
+            ]
+            self.evaluator.submit(initial)
+            self._initialized = True
+        elif self._pending_results:
+            # A previous call stopped on a budget after recording a batch;
+            # submit its replacements first so continuation is identical to
+            # an uninterrupted run with the larger budget.
+            self._resubmit(self._pending_results)
+            self._pending_results = []
 
         while True:
             jobs = self.evaluator.gather()
@@ -145,16 +173,84 @@ class AgingEvolutionBase:
             results = [self._record(job) for job in jobs]
 
             if max_evaluations is not None and len(self.history) >= max_evaluations:
+                self._pending_results = results
                 break
             if wall_time_minutes is not None and self.evaluator.now >= wall_time_minutes:
+                self._pending_results = results
                 break
 
-            # Generate |results| replacement configurations (lines 12-23).
-            next_hps = self._next_hyperparameters(results)
-            children = [
-                ModelConfig(arch=self._child_architecture(), hyperparameters=hp)
-                for hp in next_hps
-            ]
-            self.evaluator.submit(children)
+            self._resubmit(results)
+            self._iterations += 1
+            if checkpoint_path is not None and self._iterations % checkpoint_every == 0:
+                self.checkpoint(checkpoint_path)
 
         return self.history
+
+    def _resubmit(self, results: list[EvaluationRecord]) -> None:
+        """Generate and submit |results| replacement configurations (lines 12-23)."""
+        next_hps = self._next_hyperparameters(results)
+        children = [
+            ModelConfig(arch=self._child_architecture(), hyperparameters=hp)
+            for hp in next_hps
+        ]
+        self.evaluator.submit(children)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path) -> None:
+        """Write the full search state to ``path`` (atomic)."""
+        from repro.core.serialization import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the search: population, history, RNG,
+        iteration counters and the evaluator's cluster state."""
+        from repro.core.serialization import record_to_dict
+
+        return {
+            "label": self.history.label,
+            "population_size": self.population_size,
+            "sample_size": self.sample_size,
+            "num_workers": self.num_workers,
+            "mutate_skips": self.mutate_skips,
+            "replacement": self.replacement,
+            "rng_state": self.rng.bit_generator.state,
+            "initialized": self._initialized,
+            "iterations": self._iterations,
+            "population": [record_to_dict(r, rich_metadata=True) for r in self.population],
+            "pending_results": [
+                record_to_dict(r, rich_metadata=True) for r in self._pending_results
+            ],
+            "history": {
+                "label": self.history.label,
+                "records": [
+                    record_to_dict(r, rich_metadata=True) for r in self.history.records
+                ],
+            },
+            "evaluator": self.evaluator.state_dict(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` (evaluator included)."""
+        from repro.core.serialization import record_from_dict
+
+        self.population_size = int(state["population_size"])
+        self.sample_size = int(state["sample_size"])
+        self.num_workers = int(state["num_workers"])
+        self.mutate_skips = bool(state["mutate_skips"])
+        self.replacement = state["replacement"]
+        self.rng.bit_generator.state = state["rng_state"]
+        self._initialized = bool(state["initialized"])
+        self._iterations = int(state["iterations"])
+        self.population = collections.deque(
+            record_from_dict(row) for row in state["population"]
+        )
+        self._pending_results = [
+            record_from_dict(row) for row in state.get("pending_results", [])
+        ]
+        self.history = SearchHistory(label=state["history"].get("label", ""))
+        for row in state["history"]["records"]:
+            self.history.add(record_from_dict(row))
+        self.evaluator.load_state(state["evaluator"])

@@ -15,9 +15,23 @@ from repro.searchspace.archspace import ArchitectureSpace
 from repro.searchspace.hpspace import default_dataparallel_space
 from repro.workflow.evaluator import Evaluator
 
-__all__ = ["make_age_variant", "make_agebo_variant", "AGEBO_VARIANTS"]
+__all__ = ["make_age_variant", "make_agebo_variant", "variant_hp_space", "AGEBO_VARIANTS"]
 
 AGEBO_VARIANTS = ("AgEBO", "AgEBO-8-LR", "AgEBO-8-LR-BS")
+
+
+def variant_hp_space(variant: str, max_ranks: int = 8):
+    """The hyperparameter space of a named AgEBO variant (also used by
+    ``--resume``, which must rebuild the space a checkpoint was run with)."""
+    if variant == "AgEBO":
+        return default_dataparallel_space(max_ranks=max_ranks)
+    if variant == "AgEBO-8-LR":
+        return default_dataparallel_space(
+            tune_batch_size=False, tune_num_ranks=False, default_num_ranks=8
+        )
+    if variant == "AgEBO-8-LR-BS":
+        return default_dataparallel_space(tune_num_ranks=False, default_num_ranks=8)
+    raise ValueError(f"unknown variant {variant!r}; expected one of {AGEBO_VARIANTS}")
 
 
 def make_age_variant(
@@ -55,14 +69,5 @@ def make_agebo_variant(
     **kwargs,
 ) -> AgEBO:
     """Build one of the Fig. 4 AgEBO ablation variants by name."""
-    if variant == "AgEBO":
-        hp_space = default_dataparallel_space(max_ranks=max_ranks)
-    elif variant == "AgEBO-8-LR":
-        hp_space = default_dataparallel_space(
-            tune_batch_size=False, tune_num_ranks=False, default_num_ranks=8
-        )
-    elif variant == "AgEBO-8-LR-BS":
-        hp_space = default_dataparallel_space(tune_num_ranks=False, default_num_ranks=8)
-    else:
-        raise ValueError(f"unknown variant {variant!r}; expected one of {AGEBO_VARIANTS}")
+    hp_space = variant_hp_space(variant, max_ranks=max_ranks)
     return AgEBO(space, hp_space, evaluator, kappa=kappa, label=variant, **kwargs)

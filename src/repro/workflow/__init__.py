@@ -14,6 +14,7 @@ of Algorithm 1 with two interchangeable backends:
 
 from repro.workflow.events import EventQueue
 from repro.workflow.jobs import EvaluationResult, Job, JobState
+from repro.workflow.faults import FaultInjector, FaultPolicy, InjectedCrash
 from repro.workflow.evaluator import Evaluator, SimulatedEvaluator, ThreadedEvaluator
 
 __all__ = [
@@ -24,4 +25,7 @@ __all__ = [
     "Evaluator",
     "SimulatedEvaluator",
     "ThreadedEvaluator",
+    "FaultPolicy",
+    "FaultInjector",
+    "InjectedCrash",
 ]

@@ -10,21 +10,49 @@ mirroring DeepHyper/Balsam.  Both backends here expose exactly that:
   from the ``duration`` the function reports (the training-cost model).
 - :class:`ThreadedEvaluator` runs evaluation functions concurrently on a
   thread pool; ``gather`` blocks until at least one finishes.
+
+Both honor the same :class:`~repro.workflow.faults.FaultPolicy` (retries
+with exponential backoff, per-job timeouts, penalized results), and the
+simulated backend additionally models worker failures: a worker dies at a
+scheduled time, its in-flight job is rescheduled on a surviving worker.
+The simulated backend is fully checkpointable via ``state_dict`` /
+``load_state`` so a killed campaign resumes bit-identically.
 """
 
 from __future__ import annotations
 
+import collections
+import dataclasses
 import threading
 import time as _time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.workflow.events import EventQueue
-from repro.workflow.jobs import EvaluationResult, Job, JobState
+from repro.workflow.faults import FaultPolicy
+from repro.workflow.jobs import EvaluationResult, Job, JobState, job_from_dict, job_to_dict
 
 __all__ = ["Evaluator", "SimulatedEvaluator", "ThreadedEvaluator"]
 
 RunFunction = Callable[[Any], EvaluationResult]
+
+
+def _resolve_policy(
+    fault_policy: FaultPolicy | None,
+    on_error: str | None,
+    failure_objective: float | None,
+    failure_duration: float | None,
+) -> FaultPolicy:
+    """Merge the legacy keyword surface into a FaultPolicy."""
+    policy = fault_policy or FaultPolicy()
+    overrides: dict[str, Any] = {}
+    if on_error is not None:
+        overrides["on_error"] = on_error
+    if failure_objective is not None:
+        overrides["failure_objective"] = failure_objective
+    if failure_duration is not None:
+        overrides["failure_duration"] = failure_duration
+    return dataclasses.replace(policy, **overrides) if overrides else policy
 
 
 class Evaluator:
@@ -47,6 +75,13 @@ class Evaluator:
     def num_in_flight(self) -> int:
         raise NotImplementedError
 
+    # -- checkpointing (optional per backend) -------------------------- #
+    def state_dict(self) -> dict[str, Any]:
+        raise NotImplementedError(f"{type(self).__name__} does not support checkpointing")
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        raise NotImplementedError(f"{type(self).__name__} does not support checkpointing")
+
 
 class SimulatedEvaluator(Evaluator):
     """Event-driven simulation of a ``num_workers``-node cluster.
@@ -54,52 +89,80 @@ class SimulatedEvaluator(Evaluator):
     Parameters
     ----------
     run_function:
-        Called once per submitted config (at submit/start time); must
-        return an :class:`EvaluationResult` whose ``duration`` is in
-        simulated minutes.
+        Called once per attempt (at start time); must return an
+        :class:`EvaluationResult` whose ``duration`` is in simulated
+        minutes.
     num_workers:
         W in the paper (128 on Theta; scaled down in the benches).
+    fault_policy:
+        Uniform failure handling (see :class:`FaultPolicy`).  The legacy
+        ``on_error`` / ``failure_objective`` / ``failure_duration``
+        keywords override the corresponding policy fields.
+    worker_failures:
+        Optional ``(time_minutes, worker_id)`` pairs: the worker dies
+        permanently at that simulated time; a job running on it is
+        rescheduled (front of the queue) on a surviving worker.
 
     Notes
     -----
     Jobs submitted while all workers are busy wait in a FIFO queue and are
     started when a worker frees — their results are computed lazily at
     start so the run function observes correct ordering.  Worker busy time
-    is tracked for the node-utilization analysis (§IV-C, ≈94%).
-
-    ``on_error`` controls failure handling: ``"raise"`` propagates run
-    function exceptions to the manager; ``"penalize"`` (production
-    behaviour — a diverged training must not kill a 3-hour campaign)
-    records the failure as an :class:`EvaluationResult` with
-    ``objective = failure_objective`` and a nominal duration.
+    is tracked for the node-utilization analysis (§IV-C, ≈94%);
+    ``utilization()`` is busy worker-minutes over *alive* worker-minutes,
+    so dead workers stop counting against the denominator.
     """
 
     def __init__(
         self,
         run_function: RunFunction,
         num_workers: int,
-        on_error: str = "raise",
-        failure_objective: float = 0.0,
-        failure_duration: float = 1.0,
+        on_error: str | None = None,
+        failure_objective: float | None = None,
+        failure_duration: float | None = None,
+        fault_policy: FaultPolicy | None = None,
+        worker_failures: Iterable[tuple[float, int]] | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        if on_error not in ("raise", "penalize"):
-            raise ValueError(f"unknown on_error policy {on_error!r}")
         self.run_function = run_function
         self.num_workers = num_workers
-        self.on_error = on_error
-        self.failure_objective = failure_objective
-        self.failure_duration = failure_duration
+        self.fault_policy = _resolve_policy(
+            fault_policy, on_error, failure_objective, failure_duration
+        )
         self.num_failures = 0
+        self.num_retries = 0
+        self.num_timeouts = 0
+        self.num_worker_failures = 0
         self._clock = 0.0
-        self._events = EventQueue()  # payload: job finishing
+        self._events = EventQueue()  # payload: (kind, ref, attempt)
         self._free_workers = list(range(num_workers - 1, -1, -1))
-        self._waiting: list[Job] = []
+        self._dead_workers: set[int] = set()
+        self._running: dict[int, Job] = {}  # worker -> job
+        self._waiting: collections.deque[Job] = collections.deque()
         self._next_id = 0
         self._in_flight = 0
         self._busy_time = 0.0
+        self._capacity_time = 0.0  # integral of alive workers over time
         self.jobs: list[Job] = []
+        for fail_time, worker in worker_failures or ():
+            if not 0 <= worker < num_workers:
+                raise ValueError(f"worker_failures names unknown worker {worker}")
+            self._events.push(float(fail_time), ("worker_fail", worker, 0))
+
+    # ------------------------------------------------------------------ #
+    # Legacy accessors kept for the pre-FaultPolicy API
+    @property
+    def on_error(self) -> str:
+        return self.fault_policy.on_error
+
+    @property
+    def failure_objective(self) -> float:
+        return self.fault_policy.failure_objective
+
+    @property
+    def failure_duration(self) -> float:
+        return self.fault_policy.failure_duration
 
     # ------------------------------------------------------------------ #
     @property
@@ -114,11 +177,15 @@ class SimulatedEvaluator(Evaluator):
     def num_free_workers(self) -> int:
         return len(self._free_workers)
 
+    @property
+    def num_alive_workers(self) -> int:
+        return self.num_workers - len(self._dead_workers)
+
     def utilization(self) -> float:
-        """Busy worker-minutes over available worker-minutes so far."""
-        if self._clock == 0.0:
+        """Busy worker-minutes over available (alive) worker-minutes so far."""
+        if self._capacity_time == 0.0:
             return 0.0
-        return self._busy_time / (self.num_workers * self._clock)
+        return self._busy_time / self._capacity_time
 
     # ------------------------------------------------------------------ #
     def submit(self, configs: Sequence[Any]) -> list[Job]:
@@ -136,41 +203,197 @@ class SimulatedEvaluator(Evaluator):
         return out
 
     def _start(self, job: Job) -> None:
+        """Run one attempt of ``job`` on a free worker."""
+        policy = self.fault_policy
         worker = self._free_workers.pop()
         job.worker = worker
         job.state = JobState.RUNNING
         job.start_time = self._clock
+        job.attempt += 1
+        self._running[worker] = job
+        failure: str | None = None
+        attempt_duration = policy.failure_duration
+        result: EvaluationResult | None = None
         try:
-            job.result = self.run_function(job.config)
+            result = self.run_function(job.config)
         except Exception as exc:
-            if self.on_error == "raise":
+            if policy.on_error == "raise":
                 raise
-            self.num_failures += 1
-            job.result = EvaluationResult(
-                objective=self.failure_objective,
-                duration=self.failure_duration,
-                metadata={"failed": True, "error": repr(exc)},
-            )
-        job.end_time = self._clock + job.result.duration
-        self._events.push(job.end_time, job)
+            failure = repr(exc)
+        else:
+            if policy.timeout is not None and result.duration > policy.timeout:
+                failure = f"timeout after {policy.timeout} min (duration {result.duration:.2f})"
+                attempt_duration = policy.timeout
+                self.num_timeouts += 1
+            else:
+                failure = policy.classify(result)
+                if failure is not None:
+                    attempt_duration = result.duration
+                if failure is not None and policy.on_error == "raise":
+                    raise RuntimeError(f"job {job.job_id}: {failure}")
+        if failure is None:
+            assert result is not None
+            job.result = result
+            job.end_time = self._clock + result.duration
+            self._events.push(job.end_time, ("finish", job, job.attempt))
+            return
+        # Failed attempt: the worker is occupied for the attempt duration.
+        job.error = failure
+        self.num_failures += 1
+        if policy.should_retry(job.retries):
+            self._events.push(self._clock + attempt_duration, ("fail", job, job.attempt))
+        else:
+            job.result = policy.failure_result(failure, attempt_duration)
+            job.end_time = self._clock + attempt_duration
+            self._events.push(job.end_time, ("finish", job, job.attempt))
+
+    # ------------------------------------------------------------------ #
+    def _advance(self, t: float) -> None:
+        if t > self._clock:
+            self._capacity_time += self.num_alive_workers * (t - self._clock)
+            self._clock = t
+
+    def _release_worker(self, worker: int) -> None:
+        self._running.pop(worker, None)
+        if worker not in self._dead_workers:
+            self._free_workers.append(worker)
+
+    def _fill_workers(self) -> None:
+        while self._waiting and self._free_workers:
+            self._start(self._waiting.popleft())
+
+    def _on_worker_fail(self, worker: int) -> None:
+        if worker in self._dead_workers:
+            return
+        self._dead_workers.add(worker)
+        self.num_worker_failures += 1
+        if worker in self._free_workers:
+            self._free_workers.remove(worker)
+        job = self._running.pop(worker, None)
+        if job is not None:
+            # The in-flight job is rescheduled at the front of the queue;
+            # bumping ``attempt`` invalidates its pending completion event.
+            self._busy_time += self._clock - job.start_time
+            job.attempt += 1
+            job.worker = -1
+            job.state = JobState.PENDING
+            self._waiting.appendleft(job)
 
     def gather(self) -> list[Job]:
-        """Advance the clock to the next completion; return finished jobs."""
-        if not self._events:
-            return []
-        next_time = self._events.peek_time()
-        finished: list[Job] = []
-        for end_time, job in self._events.drain_until(next_time):
-            self._clock = max(self._clock, end_time)
-            job.state = JobState.DONE
-            self._busy_time += job.end_time - job.start_time
-            self._free_workers.append(job.worker)
-            self._in_flight -= 1
-            finished.append(job)
-        # Start any queued jobs on the workers that just freed.
-        while self._waiting and self._free_workers:
-            self._start(self._waiting.pop(0))
-        return finished
+        """Advance the clock until at least one job finishes; return them."""
+        while self._events:
+            next_time = self._events.peek_time()
+            finished: list[Job] = []
+            for end_time, (kind, ref, attempt) in self._events.drain_until(next_time):
+                self._advance(end_time)
+                if kind == "worker_fail":
+                    self._on_worker_fail(ref)
+                    continue
+                job = ref
+                if job.attempt != attempt:
+                    continue  # stale event from a dead worker's attempt
+                if kind == "finish":
+                    job.state = (
+                        JobState.FAILED if job.result.metadata.get("failed") else JobState.DONE
+                    )
+                    self._busy_time += end_time - job.start_time
+                    self._release_worker(job.worker)
+                    self._in_flight -= 1
+                    finished.append(job)
+                elif kind == "fail":
+                    self._busy_time += end_time - job.start_time
+                    self._release_worker(job.worker)
+                    job.retries += 1
+                    self.num_retries += 1
+                    job.state = JobState.RETRYING
+                    job.worker = -1
+                    delay = self.fault_policy.backoff_minutes(job.retries)
+                    if delay > 0:
+                        self._events.push(self._clock + delay, ("retry", job, job.attempt))
+                    else:
+                        self._waiting.append(job)
+                elif kind == "retry":
+                    self._waiting.append(job)
+            # Start queued jobs on the workers that just freed.
+            self._fill_workers()
+            if finished:
+                return finished
+        if self._in_flight:
+            raise RuntimeError(
+                f"evaluator deadlocked: {self._in_flight} job(s) in flight but all "
+                f"{self.num_workers} workers are dead"
+            )
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the full cluster state (jobs, queue, clock)."""
+        entries = self._events.entries()
+
+        def encode_ref(kind: str, ref: Any) -> Any:
+            return ref if kind == "worker_fail" else ref.job_id
+
+        state = {
+            "num_workers": self.num_workers,
+            "clock": self._clock,
+            "busy_time": self._busy_time,
+            "capacity_time": self._capacity_time,
+            "next_id": self._next_id,
+            "in_flight": self._in_flight,
+            "num_failures": self.num_failures,
+            "num_retries": self.num_retries,
+            "num_timeouts": self.num_timeouts,
+            "num_worker_failures": self.num_worker_failures,
+            "free_workers": list(self._free_workers),
+            "dead_workers": sorted(self._dead_workers),
+            "running": {str(w): job.job_id for w, job in self._running.items()},
+            "waiting": [job.job_id for job in self._waiting],
+            "events": [
+                [t, c, kind, encode_ref(kind, ref), attempt]
+                for t, c, (kind, ref, attempt) in entries
+            ],
+            "event_counter": max((c for _, c, _ in entries), default=-1) + 1,
+            "jobs": [job_to_dict(job) for job in self.jobs],
+            "policy": dataclasses.asdict(self.fault_policy),
+        }
+        if hasattr(self.run_function, "getstate"):
+            state["run_function_state"] = self.run_function.getstate()
+        return state
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        if state["num_workers"] != self.num_workers:
+            raise ValueError(
+                f"checkpoint has {state['num_workers']} workers, evaluator has "
+                f"{self.num_workers}"
+            )
+        self.fault_policy = FaultPolicy(**state["policy"])
+        self._clock = float(state["clock"])
+        self._busy_time = float(state["busy_time"])
+        self._capacity_time = float(state["capacity_time"])
+        self._next_id = int(state["next_id"])
+        self._in_flight = int(state["in_flight"])
+        self.num_failures = int(state["num_failures"])
+        self.num_retries = int(state["num_retries"])
+        self.num_timeouts = int(state["num_timeouts"])
+        self.num_worker_failures = int(state["num_worker_failures"])
+        self._free_workers = [int(w) for w in state["free_workers"]]
+        self._dead_workers = {int(w) for w in state["dead_workers"]}
+        self.jobs = [job_from_dict(row) for row in state["jobs"]]
+        by_id = {job.job_id: job for job in self.jobs}
+        self._running = {int(w): by_id[jid] for w, jid in state["running"].items()}
+        self._waiting = collections.deque(by_id[jid] for jid in state["waiting"])
+        self._events.restore(
+            [
+                (t, c, (kind, ref if kind == "worker_fail" else by_id[ref], attempt))
+                for t, c, kind, ref, attempt in state["events"]
+            ],
+            int(state["event_counter"]),
+        )
+        if "run_function_state" in state and hasattr(self.run_function, "setstate"):
+            self.run_function.setstate(state["run_function_state"])
 
 
 class ThreadedEvaluator(Evaluator):
@@ -180,6 +403,14 @@ class ThreadedEvaluator(Evaluator):
     duration is the run function's declared duration unless
     ``measure_wall_time=True``, in which case the measured elapsed time
     (in minutes) replaces it.
+
+    The :class:`FaultPolicy` surface matches :class:`SimulatedEvaluator`
+    (API parity): exceptions and invalid objectives are raised, penalized
+    or retried; ``timeout`` (wall-clock minutes) abandons stragglers — the
+    worker thread keeps running but the job is finalized with a penalized
+    result so the campaign never blocks on a hung evaluation.  Retries are
+    resubmitted immediately (exponential backoff is a simulated-minutes
+    concept; sleeping real minutes would stall the pool).
     """
 
     def __init__(
@@ -187,18 +418,43 @@ class ThreadedEvaluator(Evaluator):
         run_function: RunFunction,
         num_workers: int,
         measure_wall_time: bool = False,
+        on_error: str | None = None,
+        failure_objective: float | None = None,
+        failure_duration: float | None = None,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.run_function = run_function
         self.num_workers = num_workers
         self.measure_wall_time = measure_wall_time
+        self.fault_policy = _resolve_policy(
+            fault_policy, on_error, failure_objective, failure_duration
+        )
+        self.num_failures = 0
+        self.num_retries = 0
+        self.num_timeouts = 0
         self._pool = ThreadPoolExecutor(max_workers=num_workers)
         self._t0 = _time.perf_counter()
         self._futures: dict[Future, Job] = {}
+        self._completed: collections.deque[Job] = collections.deque()
+        self._busy_time = 0.0
         self._lock = threading.Lock()
         self._next_id = 0
         self.jobs: list[Job] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def on_error(self) -> str:
+        return self.fault_policy.on_error
+
+    @property
+    def failure_objective(self) -> float:
+        return self.fault_policy.failure_objective
+
+    @property
+    def failure_duration(self) -> float:
+        return self.fault_policy.failure_duration
 
     @property
     def now(self) -> float:
@@ -207,8 +463,16 @@ class ThreadedEvaluator(Evaluator):
     @property
     def num_in_flight(self) -> int:
         with self._lock:
-            return len(self._futures)
+            return len(self._futures) + len(self._completed)
 
+    def utilization(self) -> float:
+        """Measured busy worker-minutes over elapsed worker-minutes."""
+        elapsed = self.now
+        if elapsed == 0.0:
+            return 0.0
+        return self._busy_time / (self.num_workers * elapsed)
+
+    # ------------------------------------------------------------------ #
     def submit(self, configs: Sequence[Any]) -> list[Job]:
         out = []
         for config in configs:
@@ -216,37 +480,124 @@ class ThreadedEvaluator(Evaluator):
                 job = Job(job_id=self._next_id, config=config, submit_time=self.now)
                 self._next_id += 1
                 self.jobs.append(job)
-            future = self._pool.submit(self._run, job)
-            with self._lock:
-                self._futures[future] = job
+            self._dispatch(job)
             out.append(job)
         return out
 
+    def _dispatch(self, job: Job) -> None:
+        future = self._pool.submit(self._run, job)
+        with self._lock:
+            self._futures[future] = job
+
     def _run(self, job: Job) -> None:
-        job.state = JobState.RUNNING
-        job.start_time = self.now
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.start_time = self.now
+            job.attempt += 1
+            my_attempt = job.attempt
         t0 = _time.perf_counter()
         result = self.run_function(job.config)
         elapsed_min = (_time.perf_counter() - t0) / 60.0
         if self.measure_wall_time:
             result = EvaluationResult(result.objective, elapsed_min, result.metadata)
-        job.result = result
+        with self._lock:
+            # An abandoned (timed-out) attempt must not clobber its retry.
+            if job.attempt == my_attempt:
+                job.result = result
+
+    def _finalize(self, job: Job, state: JobState) -> None:
         job.end_time = self.now
-        job.state = JobState.DONE
+        job.state = state
+        self._busy_time += max(0.0, job.end_time - job.start_time)
+
+    def _handle_failure(self, job: Job, error: str, finished: list[Job]) -> None:
+        """Penalize or retry one failed attempt (policy is not 'raise')."""
+        policy = self.fault_policy
+        job.error = error
+        self.num_failures += 1
+        if policy.should_retry(job.retries):
+            job.retries += 1
+            self.num_retries += 1
+            job.state = JobState.RETRYING
+            self._dispatch(job)
+        else:
+            job.result = policy.failure_result(error)
+            self._finalize(job, JobState.FAILED)
+            finished.append(job)
 
     def gather(self) -> list[Job]:
-        with self._lock:
-            pending = dict(self._futures)
-        if not pending:
-            return []
-        done, _ = wait(pending.keys(), return_when=FIRST_COMPLETED)
-        finished = []
-        with self._lock:
+        """Block until at least one job finishes; return all finished jobs.
+
+        All completed futures are collected before any exception is
+        re-raised, so sibling finished jobs are never dropped: with
+        ``on_error="raise"`` they are buffered and returned by the next
+        ``gather`` call.
+        """
+        policy = self.fault_policy
+        while True:
+            with self._lock:
+                finished = list(self._completed)
+                self._completed.clear()
+                pending = dict(self._futures)
+            if not pending:
+                return finished
+            wait_timeout: float | None = None
+            if policy.timeout is not None:
+                deadlines = [
+                    job.start_time + policy.timeout
+                    for job in pending.values()
+                    if job.state is JobState.RUNNING
+                ]
+                if deadlines:
+                    wait_timeout = max(0.0, (min(deadlines) - self.now) * 60.0) + 1e-3
+            done, _ = wait(pending.keys(), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+            first_error: BaseException | None = None
             for future in done:
-                job = self._futures.pop(future)
-                future.result()  # re-raise evaluation exceptions
-                finished.append(job)
-        return finished
+                with self._lock:
+                    job = self._futures.pop(future, None)
+                if job is None:
+                    continue  # already abandoned by a timeout
+                exc = future.exception()
+                if exc is None:
+                    error = policy.classify(job.result)
+                    if error is None:
+                        self._finalize(job, JobState.DONE)
+                        finished.append(job)
+                        continue
+                    exc = RuntimeError(f"job {job.job_id}: {error}")
+                if policy.on_error == "raise":
+                    job.error = repr(exc)
+                    self._finalize(job, JobState.FAILED)
+                    first_error = first_error or exc
+                else:
+                    self._handle_failure(job, repr(exc), finished)
+            # Reap stragglers past the policy deadline (threads cannot be
+            # killed; the job is finalized and the thread abandoned).
+            if policy.timeout is not None:
+                now = self.now
+                for future, job in pending.items():
+                    if future in done or job.state is not JobState.RUNNING:
+                        continue
+                    if now >= job.start_time + policy.timeout:
+                        with self._lock:
+                            self._futures.pop(future, None)
+                        future.cancel()
+                        self.num_timeouts += 1
+                        error = f"timeout after {policy.timeout} min"
+                        if policy.on_error == "raise":
+                            self._finalize(job, JobState.FAILED)
+                            job.error = error
+                            first_error = first_error or TimeoutError(
+                                f"job {job.job_id}: {error}"
+                            )
+                        else:
+                            self._handle_failure(job, error, finished)
+            if first_error is not None:
+                with self._lock:
+                    self._completed.extend(finished)
+                raise first_error
+            if finished:
+                return finished
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)

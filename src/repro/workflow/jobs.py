@@ -6,13 +6,17 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["JobState", "EvaluationResult", "Job"]
+import numpy as np
+
+__all__ = ["JobState", "EvaluationResult", "Job", "job_to_dict", "job_from_dict"]
 
 
 class JobState(enum.Enum):
     PENDING = "pending"  # submitted, waiting for a free worker
     RUNNING = "running"
+    RETRYING = "retrying"  # a failed attempt is waiting to be re-run
     DONE = "done"
+    FAILED = "failed"  # fault policy exhausted; carries a penalized result
 
 
 @dataclass
@@ -42,7 +46,14 @@ class EvaluationResult:
 
 @dataclass
 class Job:
-    """One evaluation tracked by an evaluator."""
+    """One evaluation tracked by an evaluator.
+
+    ``retries`` counts completed failed attempts that were re-run under a
+    retry fault policy; ``attempt`` is a monotonically increasing scheduling
+    epoch (bumped on every start and on worker-failure rescheduling) used to
+    invalidate stale completion events; ``error`` holds the most recent
+    failure description, if any.
+    """
 
     job_id: int
     config: Any
@@ -52,6 +63,9 @@ class Job:
     end_time: float = 0.0
     worker: int = -1
     result: EvaluationResult | None = None
+    retries: int = 0
+    attempt: int = 0
+    error: str | None = None
 
     @property
     def objective(self) -> float:
@@ -63,3 +77,92 @@ class Job:
     def queue_delay(self) -> float:
         """Time spent waiting for a worker."""
         return self.start_time - self.submit_time
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint (de)serialization
+# --------------------------------------------------------------------- #
+def _jsonable_metadata(metadata: dict[str, Any]) -> dict[str, Any]:
+    """Scalar and list-of-scalar metadata entries; everything else dropped."""
+    out: dict[str, Any] = {}
+    for key, value in metadata.items():
+        if isinstance(value, (bool, int, float, str)):
+            out[key] = value
+        elif isinstance(value, (np.integer, np.floating)):
+            out[key] = value.item()
+        elif isinstance(value, (list, tuple)) and all(
+            isinstance(v, (bool, int, float, str, np.integer, np.floating)) for v in value
+        ):
+            out[key] = [v.item() if isinstance(v, (np.integer, np.floating)) else v for v in value]
+    return out
+
+
+def _config_to_jsonable(config: Any) -> Any:
+    """Encode a job config; ModelConfig gets a tagged representation."""
+    if hasattr(config, "arch") and hasattr(config, "hyperparameters"):
+        return {
+            "__model_config__": {
+                "arch": np.asarray(config.arch).tolist(),
+                "hyperparameters": dict(config.hyperparameters),
+            }
+        }
+    return config
+
+
+def _config_from_jsonable(data: Any) -> Any:
+    if isinstance(data, dict) and "__model_config__" in data:
+        from repro.core.config import ModelConfig  # lazy: workflow must not import core eagerly
+
+        inner = data["__model_config__"]
+        return ModelConfig(
+            arch=np.asarray(inner["arch"], dtype=np.int64),
+            hyperparameters=dict(inner["hyperparameters"]),
+        )
+    return data
+
+
+def job_to_dict(job: Job) -> dict[str, Any]:
+    """JSON-safe snapshot of a job (used by evaluator checkpoints)."""
+    return {
+        "job_id": job.job_id,
+        "config": _config_to_jsonable(job.config),
+        "state": job.state.value,
+        "submit_time": job.submit_time,
+        "start_time": job.start_time,
+        "end_time": job.end_time,
+        "worker": job.worker,
+        "retries": job.retries,
+        "attempt": job.attempt,
+        "error": job.error,
+        "result": None
+        if job.result is None
+        else {
+            "objective": job.result.objective,
+            "duration": job.result.duration,
+            "metadata": _jsonable_metadata(job.result.metadata),
+        },
+    }
+
+
+def job_from_dict(data: dict[str, Any]) -> Job:
+    """Inverse of :func:`job_to_dict`."""
+    result = data.get("result")
+    return Job(
+        job_id=int(data["job_id"]),
+        config=_config_from_jsonable(data["config"]),
+        state=JobState(data["state"]),
+        submit_time=float(data["submit_time"]),
+        start_time=float(data["start_time"]),
+        end_time=float(data["end_time"]),
+        worker=int(data["worker"]),
+        retries=int(data.get("retries", 0)),
+        attempt=int(data.get("attempt", 0)),
+        error=data.get("error"),
+        result=None
+        if result is None
+        else EvaluationResult(
+            objective=float(result["objective"]),
+            duration=float(result["duration"]),
+            metadata=dict(result.get("metadata", {})),
+        ),
+    )

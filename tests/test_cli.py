@@ -102,6 +102,47 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_search_requires_dataset_unless_resuming():
+    with pytest.raises(SystemExit, match="--dataset"):
+        main(["search", "--max-evaluations", "4"], out=io.StringIO())
+
+
+def test_search_checkpoint_resume_round_trip(tmp_path):
+    """--resume continues a checkpointed campaign to a history identical
+    to the uninterrupted run, restoring --dataset etc. from the file."""
+    base = [
+        "search", "--dataset", "covertype", "--method", "AgEBO",
+        "--size", "800", "--num-nodes", "2", "--epochs", "2",
+        "--workers", "3", "--population", "4", "--sample", "2",
+    ]
+    full = tmp_path / "full.json"
+    run_cli(base + ["--max-evaluations", "10", "--save-history", str(full)])
+
+    ck = tmp_path / "camp.ckpt"
+    run_cli(base + ["--max-evaluations", "5", "--checkpoint", str(ck)])
+
+    resumed = tmp_path / "resumed.json"
+    text = run_cli([
+        "search", "--resume", str(ck),
+        "--max-evaluations", "10", "--save-history", str(resumed),
+    ])
+    assert "resuming campaign" in text
+
+    import json
+
+    assert json.loads(full.read_text()) == json.loads(resumed.read_text())
+
+
+def test_search_with_fault_injection_penalizes():
+    text = run_cli([
+        "search", "--dataset", "covertype", "--size", "800",
+        "--num-nodes", "2", "--epochs", "2", "--max-evaluations", "8",
+        "--workers", "3", "--population", "4", "--sample", "2",
+        "--crash-prob", "0.4", "--fault-seed", "1", "--on-error", "penalize",
+    ])
+    assert "penalized" in text
+
+
 def test_search_command_saves_history_and_report(tmp_path):
     hist = tmp_path / "h.json"
     rep = tmp_path / "r.md"

@@ -1,0 +1,148 @@
+"""Seeded property-style invariant tests for both evaluator backends.
+
+Random (but seeded, via plain ``random.Random`` — no hypothesis dependency)
+submit/gather schedules driven against ``SimulatedEvaluator`` and
+``ThreadedEvaluator``, asserting structural invariants that must hold for
+*any* schedule:
+
+- jobs start in FIFO submission order (absent faults),
+- ``num_in_flight`` always equals submitted-minus-finished,
+- workers are conserved: free + busy + dead == num_workers,
+- ``utilization() <= 1.0`` at every quiescent point.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workflow import (
+    EvaluationResult,
+    FaultPolicy,
+    JobState,
+    SimulatedEvaluator,
+    ThreadedEvaluator,
+)
+
+SCHEDULE_SEEDS = [11, 23, 37, 59]
+
+
+def seeded_run(seed: int):
+    """Deterministic per-config durations/objectives from a hash."""
+
+    def run(config):
+        h = (int(config) * 2654435761 + seed) % 997
+        return EvaluationResult(
+            objective=(h % 100) / 100.0, duration=1.0 + (h % 7)
+        )
+
+    return run
+
+
+def random_schedule(ev, rng, num_jobs, max_batch=5):
+    """Drive a random submit/gather interleaving; return finished jobs in
+    gather order.  Invariant-checks ``num_in_flight`` at every step."""
+    submitted = 0
+    finished = []
+    while submitted < num_jobs or ev.num_in_flight > 0:
+        if submitted < num_jobs and (ev.num_in_flight == 0 or rng.random() < 0.5):
+            batch = min(rng.randint(1, max_batch), num_jobs - submitted)
+            ev.submit(list(range(submitted, submitted + batch)))
+            submitted += batch
+        else:
+            finished.extend(ev.gather())
+        assert ev.num_in_flight == submitted - len(finished)
+        assert ev.num_in_flight >= 0
+    return finished
+
+
+@pytest.mark.parametrize("seed", SCHEDULE_SEEDS)
+def test_sim_fifo_start_order(seed):
+    """With no faults, jobs grab workers in submission (job_id) order."""
+    rng = random.Random(seed)
+    ev = SimulatedEvaluator(seeded_run(seed), num_workers=rng.randint(1, 6))
+    finished = random_schedule(ev, rng, num_jobs=30)
+    assert len(finished) == 30
+    by_id = sorted(finished, key=lambda j: j.job_id)
+    starts = [j.start_time for j in by_id]
+    assert starts == sorted(starts)
+    assert all(j.state is JobState.DONE for j in finished)
+
+
+@pytest.mark.parametrize("seed", SCHEDULE_SEEDS)
+def test_sim_worker_conservation_and_utilization(seed):
+    rng = random.Random(seed)
+    num_workers = rng.randint(2, 6)
+    ev = SimulatedEvaluator(seeded_run(seed), num_workers=num_workers)
+    submitted = 0
+    finished = 0
+    while submitted < 25 or ev.num_in_flight > 0:
+        if submitted < 25 and (ev.num_in_flight == 0 or rng.random() < 0.5):
+            batch = rng.randint(1, 4)
+            ev.submit(list(range(submitted, submitted + batch)))
+            submitted += batch
+        else:
+            finished += len(ev.gather())
+        free = len(ev._free_workers)
+        busy = len(ev._running)
+        dead = len(ev._dead_workers)
+        assert free + busy + dead == num_workers
+        assert 0.0 <= ev.utilization() <= 1.0
+
+
+@pytest.mark.parametrize("seed", SCHEDULE_SEEDS)
+def test_sim_single_worker_serializes_fifo(seed):
+    """One worker: completion order == submission order, end-to-end."""
+    rng = random.Random(seed)
+    ev = SimulatedEvaluator(seeded_run(seed), num_workers=1)
+    finished = random_schedule(ev, rng, num_jobs=15)
+    assert [j.job_id for j in finished] == sorted(j.job_id for j in finished)
+    # Back-to-back on one worker: each job starts when the previous ends.
+    for prev, cur in zip(finished, finished[1:]):
+        assert cur.start_time >= prev.end_time
+
+
+@pytest.mark.parametrize("seed", SCHEDULE_SEEDS)
+def test_sim_invariants_hold_under_faults(seed):
+    """The accounting invariants survive crashes, retries and timeouts."""
+    rng = random.Random(seed)
+
+    def flaky(config):
+        h = (int(config) * 2654435761 + seed) % 997
+        if h % 5 == 0:
+            raise RuntimeError("injected")
+        return EvaluationResult(objective=(h % 100) / 100.0, duration=1.0 + (h % 9))
+
+    policy = FaultPolicy(
+        on_error="retry", max_retries=1, retry_backoff=0.5,
+        timeout=8.0, failure_duration=0.5,
+    )
+    num_workers = rng.randint(2, 5)
+    ev = SimulatedEvaluator(flaky, num_workers=num_workers, fault_policy=policy)
+    finished = random_schedule(ev, rng, num_jobs=30)
+    assert len(finished) == 30
+    assert all(j.state in (JobState.DONE, JobState.FAILED) for j in finished)
+    free = len(ev._free_workers)
+    assert free + len(ev._running) + len(ev._dead_workers) == num_workers
+    assert 0.0 <= ev.utilization() <= 1.0
+
+
+@pytest.mark.parametrize("seed", SCHEDULE_SEEDS[:2])
+def test_threaded_schedule_invariants(seed):
+    """Same schedule invariants on the real-thread backend (smaller scale)."""
+    rng = random.Random(seed)
+
+    def run(config):
+        return EvaluationResult(objective=0.5, duration=0.0)
+
+    ev = ThreadedEvaluator(run, num_workers=3)
+    try:
+        finished = random_schedule(ev, rng, num_jobs=12, max_batch=3)
+        assert len(finished) == 12
+        assert all(j.state is JobState.DONE for j in finished)
+        assert sorted(j.job_id for j in finished) == list(range(12))
+        assert 0.0 <= ev.utilization() <= 1.0
+        assert ev.num_in_flight == 0
+    finally:
+        ev.shutdown()

@@ -1,0 +1,465 @@
+"""Fault-injection test harness: policies, injector, worker failures.
+
+Proves the fault-tolerance layer works under deterministically injected
+crashes, hangs/stragglers and corrupted results — the §III-C requirement
+that a diverged or dead evaluation must never kill a campaign.  The
+acceptance scenario at the bottom runs a full 64-evaluation AgEBO campaign
+through an injector and checks it completes with full history and high
+utilization.  ``FAULT_SEED`` in the environment adds an extra injector
+seed (used by the CI fault-injection job).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.agebo import AgEBO
+from repro.searchspace import ArchitectureSpace
+from repro.searchspace.hpspace import default_dataparallel_space
+from repro.workflow import (
+    EvaluationResult,
+    FaultInjector,
+    FaultPolicy,
+    InjectedCrash,
+    JobState,
+    SimulatedEvaluator,
+    ThreadedEvaluator,
+)
+
+INJECTOR_SEEDS = [0, 1, 2]
+if os.environ.get("FAULT_SEED"):
+    INJECTOR_SEEDS.append(int(os.environ["FAULT_SEED"]))
+
+
+def constant_run(duration=1.0, objective=0.5):
+    def run(config):
+        return EvaluationResult(objective=objective, duration=duration)
+
+    return run
+
+
+# --------------------------------------------------------------------- #
+# FaultPolicy
+# --------------------------------------------------------------------- #
+def test_policy_validation():
+    with pytest.raises(ValueError, match="on_error"):
+        FaultPolicy(on_error="explode")
+    with pytest.raises(ValueError):
+        FaultPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        FaultPolicy(retry_backoff=-0.5)
+    with pytest.raises(ValueError):
+        FaultPolicy(timeout=0.0)
+
+
+def test_policy_backoff_is_exponential():
+    policy = FaultPolicy(on_error="retry", max_retries=3, retry_backoff=2.0)
+    assert policy.backoff_minutes(1) == 2.0
+    assert policy.backoff_minutes(2) == 4.0
+    assert policy.backoff_minutes(3) == 8.0
+    assert FaultPolicy().backoff_minutes(1) == 0.0
+
+
+def test_policy_should_retry_counts_down():
+    policy = FaultPolicy(on_error="retry", max_retries=2)
+    assert policy.should_retry(0) and policy.should_retry(1)
+    assert not policy.should_retry(2)
+    assert not FaultPolicy(on_error="penalize", max_retries=2).should_retry(0)
+
+
+def test_policy_failure_result_and_classify():
+    policy = FaultPolicy(failure_objective=-1.0, failure_duration=3.0)
+    result = policy.failure_result("boom")
+    assert result.objective == -1.0 and result.duration == 3.0
+    assert result.metadata["failed"] and result.metadata["error"] == "boom"
+    assert policy.classify(EvaluationResult(float("nan"), 1.0)) is not None
+    assert policy.classify(EvaluationResult(0.5, 1.0)) is None
+    lax = FaultPolicy(reject_invalid=False)
+    assert lax.classify(EvaluationResult(float("nan"), 1.0)) is None
+
+
+# --------------------------------------------------------------------- #
+# FaultInjector
+# --------------------------------------------------------------------- #
+def test_injector_validation():
+    run = constant_run()
+    with pytest.raises(ValueError):
+        FaultInjector(run, crash_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultInjector(run, crash_prob=0.6, hang_prob=0.6)
+    with pytest.raises(ValueError):
+        FaultInjector(run, hang_factor=0.5)
+
+
+@pytest.mark.parametrize("seed", INJECTOR_SEEDS)
+def test_injector_is_deterministic(seed):
+    def outcomes(inj):
+        out = []
+        for _ in range(50):
+            try:
+                r = inj(None)
+                if r.metadata.get("injected_hang"):
+                    out.append("hang")
+                elif r.metadata.get("injected_corruption"):
+                    out.append("corrupt")
+                else:
+                    out.append("ok")
+            except InjectedCrash:
+                out.append("crash")
+        return out
+
+    make = lambda: FaultInjector(
+        constant_run(), crash_prob=0.3, hang_prob=0.2, corrupt_prob=0.1, seed=seed
+    )
+    a, b = make(), make()
+    assert outcomes(a) == outcomes(b)
+    assert a.num_crashes == b.num_crashes > 0
+    assert a.num_hangs == b.num_hangs
+    assert a.num_corruptions == b.num_corruptions
+
+
+def test_injector_fault_shapes():
+    inj = FaultInjector(constant_run(duration=2.0), hang_prob=1.0, hang_factor=10.0)
+    result = inj(None)
+    assert result.duration == 20.0 and result.metadata["injected_hang"]
+
+    inj = FaultInjector(constant_run(), corrupt_prob=1.0)
+    result = inj(None)
+    assert math.isnan(result.objective) and result.metadata["injected_corruption"]
+
+    inj = FaultInjector(constant_run(), crash_prob=1.0)
+    with pytest.raises(InjectedCrash):
+        inj(None)
+
+
+def test_injector_state_round_trips():
+    inj = FaultInjector(constant_run(), crash_prob=0.5, seed=11)
+    for _ in range(7):
+        try:
+            inj(None)
+        except InjectedCrash:
+            pass
+    state = inj.getstate()
+    fresh = FaultInjector(constant_run(), crash_prob=0.5, seed=11)
+    fresh.setstate(state)
+    follow = lambda i: ["crash" if _crashes(i) else "ok" for _ in range(20)]
+
+    def _crashes(i):
+        try:
+            i(None)
+            return False
+        except InjectedCrash:
+            return True
+
+    assert follow(inj) == follow(fresh)
+
+
+# --------------------------------------------------------------------- #
+# SimulatedEvaluator under the policy
+# --------------------------------------------------------------------- #
+def drain(ev):
+    done = []
+    while True:
+        batch = ev.gather()
+        if not batch:
+            return done
+        done.extend(batch)
+
+
+def fails_n_times(n, duration=1.0):
+    """Per-config call counter: first ``n`` attempts raise, then succeed."""
+    calls: dict = {}
+
+    def run(config):
+        calls[config] = calls.get(config, 0) + 1
+        if calls[config] <= n:
+            raise RuntimeError(f"transient fault #{calls[config]}")
+        return EvaluationResult(objective=0.8, duration=duration)
+
+    return run
+
+
+def test_sim_retry_recovers_transient_fault():
+    policy = FaultPolicy(on_error="retry", max_retries=2, failure_duration=0.5)
+    ev = SimulatedEvaluator(fails_n_times(1), num_workers=1, fault_policy=policy)
+    ev.submit(["a"])
+    (job,) = drain(ev)
+    assert job.state is JobState.DONE
+    assert job.retries == 1
+    assert job.result.objective == 0.8
+    assert ev.num_failures == 1 and ev.num_retries == 1
+    # Attempt 1 occupied the worker 0.5 min, attempt 2 ran 1.0 min.
+    assert job.end_time == pytest.approx(1.5)
+
+
+def test_sim_retry_backoff_delays_restart():
+    policy = FaultPolicy(
+        on_error="retry", max_retries=2, retry_backoff=2.0, failure_duration=0.5
+    )
+    ev = SimulatedEvaluator(fails_n_times(2), num_workers=1, fault_policy=policy)
+    ev.submit(["a"])
+    (job,) = drain(ev)
+    assert job.state is JobState.DONE and job.retries == 2
+    # fail@0.5, backoff 2 -> restart 2.5, fail@3.0, backoff 4 -> restart 7.0,
+    # success 1.0 min -> end 8.0.
+    assert job.end_time == pytest.approx(8.0)
+
+
+def test_sim_retries_exhausted_penalizes():
+    policy = FaultPolicy(
+        on_error="retry", max_retries=2, failure_objective=-1.0, failure_duration=0.5
+    )
+    ev = SimulatedEvaluator(fails_n_times(10), num_workers=1, fault_policy=policy)
+    ev.submit(["a"])
+    (job,) = drain(ev)
+    assert job.state is JobState.FAILED
+    assert job.retries == 2
+    assert job.result.objective == -1.0
+    assert job.result.metadata["failed"]
+    assert ev.num_failures == 3  # three failed attempts
+
+
+def test_sim_timeout_reaps_straggler():
+    policy = FaultPolicy(on_error="penalize", timeout=5.0)
+    ev = SimulatedEvaluator(constant_run(duration=100.0), num_workers=1, fault_policy=policy)
+    ev.submit(["a"])
+    (job,) = drain(ev)
+    assert job.state is JobState.FAILED
+    assert "timeout" in job.result.metadata["error"]
+    assert job.end_time == pytest.approx(5.0)  # reaped at the deadline, not at 100
+    assert ev.num_timeouts == 1
+
+
+def test_sim_corrupted_result_is_penalized():
+    def run(config):
+        return EvaluationResult(objective=float("nan"), duration=2.0)
+
+    ev = SimulatedEvaluator(run, num_workers=1, on_error="penalize")
+    ev.submit(["a"])
+    (job,) = drain(ev)
+    assert job.state is JobState.FAILED
+    assert "invalid objective" in job.result.metadata["error"]
+    assert math.isfinite(job.result.objective)
+
+
+def test_sim_legacy_kwargs_still_override():
+    ev = SimulatedEvaluator(
+        constant_run(), num_workers=1, on_error="penalize", failure_objective=-2.0
+    )
+    assert ev.fault_policy.on_error == "penalize"
+    assert ev.fault_policy.failure_objective == -2.0
+    assert ev.on_error == "penalize" and ev.failure_objective == -2.0
+
+
+# --------------------------------------------------------------------- #
+# Simulated worker failures
+# --------------------------------------------------------------------- #
+def test_worker_failure_reschedules_in_flight_job():
+    ev = SimulatedEvaluator(
+        constant_run(duration=10.0), num_workers=2, worker_failures=[(5.0, 1)]
+    )
+    ev.submit([0.1, 0.2])
+    done = drain(ev)
+    assert len(done) == 2
+    assert all(j.state is JobState.DONE for j in done)
+    # The victim re-ran on worker 0 after its first job finished at t=10.
+    assert sorted(j.end_time for j in done) == [10.0, 20.0]
+    assert all(j.worker == 0 for j in done)
+    assert ev.num_worker_failures == 1
+    assert ev.num_alive_workers == 1
+
+
+def test_worker_failure_of_idle_worker():
+    ev = SimulatedEvaluator(
+        constant_run(duration=2.0), num_workers=2, worker_failures=[(1.0, 1)]
+    )
+    ev.submit([0.1])
+    done = drain(ev)
+    assert len(done) == 1 and done[0].worker == 0
+    assert ev.num_alive_workers == 1
+    # The dead worker never restarts a queued job.
+    ev.submit([0.2, 0.3])
+    done = drain(ev)
+    assert all(j.worker == 0 for j in done)
+
+
+def test_worker_failure_utilization_uses_alive_capacity():
+    # One worker, saturated, dies after its job completes: utilization
+    # stays 1.0 because capacity stops accruing for dead workers.
+    ev = SimulatedEvaluator(
+        constant_run(duration=4.0), num_workers=2, worker_failures=[(4.0, 1)]
+    )
+    ev.submit([0.1, 0.2])
+    drain(ev)
+    assert ev.utilization() == pytest.approx(1.0)
+
+
+def test_all_workers_dead_raises_deadlock():
+    ev = SimulatedEvaluator(
+        constant_run(duration=10.0), num_workers=1, worker_failures=[(5.0, 0)]
+    )
+    ev.submit([0.1])
+    with pytest.raises(RuntimeError, match="dead"):
+        drain(ev)
+
+
+def test_worker_failure_unknown_worker_rejected():
+    with pytest.raises(ValueError, match="unknown worker"):
+        SimulatedEvaluator(constant_run(), num_workers=2, worker_failures=[(1.0, 7)])
+
+
+# --------------------------------------------------------------------- #
+# ThreadedEvaluator policy parity
+# --------------------------------------------------------------------- #
+def test_threaded_gather_returns_all_finished_jobs_regression():
+    """A raising future must not swallow its finished siblings (the old
+    gather() popped one future, raised, and left the rest in flight)."""
+
+    def run(config):
+        time.sleep(0.02)
+        if config == "bad":
+            raise RuntimeError("evaluation failed")
+        return EvaluationResult(objective=1.0, duration=0.0)
+
+    ev = ThreadedEvaluator(run, num_workers=3)
+    try:
+        ev.submit(["good1", "bad", "good2"])
+        time.sleep(0.2)  # let all three finish before gathering
+        with pytest.raises(RuntimeError, match="evaluation failed"):
+            ev.gather()
+        # Siblings were collected, finalized and buffered, not dropped.
+        recovered = []
+        while True:
+            batch = ev.gather()
+            if not batch:
+                break
+            recovered.extend(batch)
+        assert sorted(j.config for j in recovered) == ["good1", "good2"]
+        assert all(j.state is JobState.DONE for j in recovered)
+        bad = next(j for j in ev.jobs if j.config == "bad")
+        assert bad.state is JobState.FAILED
+        assert ev.num_in_flight == 0
+    finally:
+        ev.shutdown()
+
+
+def test_threaded_penalize_policy_parity():
+    def run(config):
+        if config == "bad":
+            raise RuntimeError("boom")
+        return EvaluationResult(objective=0.7, duration=0.0)
+
+    ev = ThreadedEvaluator(
+        run, num_workers=2, on_error="penalize", failure_objective=-1.0
+    )
+    try:
+        ev.submit(["ok", "bad"])
+        done = []
+        while len(done) < 2:
+            done.extend(ev.gather())
+        bad = next(j for j in done if j.config == "bad")
+        assert bad.state is JobState.FAILED
+        assert bad.result.objective == -1.0
+        assert bad.result.metadata["failed"]
+        assert ev.num_failures == 1
+    finally:
+        ev.shutdown()
+
+
+def test_threaded_retry_policy():
+    calls = {"n": 0}
+
+    def run(config):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+        return EvaluationResult(objective=0.9, duration=0.0)
+
+    ev = ThreadedEvaluator(
+        run, num_workers=1, fault_policy=FaultPolicy(on_error="retry", max_retries=2)
+    )
+    try:
+        ev.submit([0])
+        (job,) = ev.gather()
+        assert job.state is JobState.DONE
+        assert job.retries == 1
+        assert job.result.objective == 0.9
+    finally:
+        ev.shutdown()
+
+
+def test_threaded_invalid_objective_penalized():
+    def run(config):
+        return EvaluationResult(objective=float("inf"), duration=0.0)
+
+    ev = ThreadedEvaluator(run, num_workers=1, on_error="penalize")
+    try:
+        ev.submit([0])
+        (job,) = ev.gather()
+        assert job.state is JobState.FAILED
+        assert "invalid objective" in job.result.metadata["error"]
+    finally:
+        ev.shutdown()
+
+
+def test_threaded_timeout_abandons_straggler():
+    def run(config):
+        if config == "hang":
+            time.sleep(5.0)
+        return EvaluationResult(objective=0.5, duration=0.0)
+
+    policy = FaultPolicy(on_error="penalize", timeout=0.25 / 60.0)  # 0.25 s
+    ev = ThreadedEvaluator(run, num_workers=2, fault_policy=policy)
+    try:
+        ev.submit(["hang", "ok"])
+        done = []
+        t0 = time.perf_counter()
+        while len(done) < 2:
+            done.extend(ev.gather())
+        assert time.perf_counter() - t0 < 3.0  # did not wait out the hang
+        hang = next(j for j in done if j.config == "hang")
+        assert hang.state is JobState.FAILED
+        assert "timeout" in hang.result.metadata["error"]
+        assert ev.num_timeouts == 1
+    finally:
+        ev._pool.shutdown(wait=False)
+
+
+# --------------------------------------------------------------------- #
+# Acceptance scenario: a faulty 64-evaluation AgEBO campaign completes
+# --------------------------------------------------------------------- #
+def _bench_eval(config):
+    """Deterministic, instant stand-in for ModelEvaluation."""
+    h = (int(np.sum(config.arch * np.arange(1, config.arch.size + 1))) * 2654435761) % 1009
+    objective = 0.4 + 0.5 * (h / 1009.0)
+    duration = 4.0 + (h % 11)
+    return EvaluationResult(objective=objective, duration=duration, metadata={"h": h})
+
+
+@pytest.mark.parametrize("seed", INJECTOR_SEEDS)
+def test_faulty_agebo_campaign_completes(seed):
+    space = ArchitectureSpace(num_nodes=3)
+    hp_space = default_dataparallel_space(max_ranks=4)
+    injector = FaultInjector(
+        _bench_eval, crash_prob=0.2, hang_prob=0.1, hang_factor=50.0, seed=seed
+    )
+    policy = FaultPolicy(
+        on_error="retry", max_retries=2, retry_backoff=1.0, timeout=30.0,
+        failure_duration=1.0,
+    )
+    evaluator = SimulatedEvaluator(injector, num_workers=8, fault_policy=policy)
+    search = AgEBO(
+        space, hp_space, evaluator,
+        population_size=10, sample_size=3, n_initial_points=5, seed=seed,
+    )
+    history = search.search(max_evaluations=64)
+    assert len(history) >= 64  # full-length history despite injected faults
+    assert evaluator.utilization() > 0.5
+    assert injector.num_crashes + injector.num_hangs > 0  # faults actually fired
+    # Penalized records (if any) never win the campaign.
+    assert history.best().objective > 0.0

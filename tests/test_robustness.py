@@ -57,7 +57,7 @@ def test_evaluator_penalize_policy_records_failure():
 
 def test_evaluator_unknown_policy_rejected():
     with pytest.raises(ValueError):
-        SimulatedEvaluator(flaky_run(1), num_workers=1, on_error="retry")
+        SimulatedEvaluator(flaky_run(1), num_workers=1, on_error="explode")
 
 
 def test_search_survives_flaky_evaluations():
