@@ -108,36 +108,43 @@ class BayesianOptimizer:
         if self.surrogate == "random" or self.num_observations < self.n_initial_points:
             return [self.space.sample(self._rng) for _ in range(k)]
 
-        X = list(self._X)
-        y = list(self._y)
-        lie = constant_lie(np.asarray(self._y), self.lie_strategy)
+        # Observations + room for k lies in one prefilled matrix: each refit
+        # sees a contiguous slice instead of re-stacking a growing list.
+        n = self.num_observations
+        d = self.space.num_dimensions
+        X = np.empty((n + k, d), dtype=float)
+        X[:n] = self._X
+        y = np.empty(n + k, dtype=float)
+        y[:n] = self._y
+        lie = constant_lie(y[:n], self.lie_strategy)
+        candidates = np.empty((self.candidate_pool_size, d), dtype=float)
         batch: list[dict[str, Any]] = []
-        model = self._fit_surrogate(X, y)
-        for _ in range(k):
-            candidates = np.stack(
-                [self.space.sample_array(self._rng) for _ in range(self.candidate_pool_size)]
-            )
+        model = self._fit_surrogate(X[:n], y[:n])
+        for j in range(k):
+            for i in range(self.candidate_pool_size):
+                candidates[i] = self.space.sample_array(self._rng)
             mu, sigma = model.predict(candidates)
             scores = upper_confidence_bound(mu, sigma, self.kappa)
-            best = candidates[int(np.argmax(scores))]
+            best = candidates[int(np.argmax(scores))].copy()
             batch.append(self.space.from_array(best))
-            X.append(best)
-            y.append(lie)
+            X[n + j] = best
+            y[n + j] = lie
             if self.refit_every_lie and len(batch) < k:
-                model = self._fit_surrogate(X, y)
+                model = self._fit_surrogate(X[: n + j + 1], y[: n + j + 1])
         return batch
 
-    def _fit_surrogate(self, X: list[np.ndarray], y: list[float]):
+    def _fit_surrogate(self, X: np.ndarray, y: np.ndarray):
         if self.surrogate == "knn":
-            return KNNSurrogate().fit(np.stack(X), np.asarray(y), self._rng)
+            return KNNSurrogate().fit(X, y, self._rng)
         forest = RandomForestRegressor(
             n_trees=self._forest_proto.n_trees,
             max_depth=self._forest_proto.max_depth,
             min_samples_split=self._forest_proto.min_samples_split,
             max_features=self._forest_proto.max_features,
             bootstrap=self._forest_proto.bootstrap,
+            presort=self._forest_proto.presort,
         )
-        forest.fit(np.stack(X), np.asarray(y), self._rng)
+        forest.fit(X, y, self._rng)
         return forest
 
     # ------------------------------------------------------------------ #

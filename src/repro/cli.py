@@ -45,7 +45,7 @@ __all__ = ["main", "build_parser"]
 # Arguments a checkpoint must pin so --resume rebuilds the same campaign.
 _RESUME_KEYS = (
     "dataset", "method", "num_ranks", "size", "num_nodes", "workers", "epochs",
-    "population", "sample", "kappa", "seed",
+    "population", "sample", "kappa", "seed", "dtype", "backend",
     "on_error", "max_retries", "retry_backoff", "timeout", "failure_objective",
     "crash_prob", "hang_prob", "corrupt_prob", "hang_factor", "fault_seed",
 )
@@ -79,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--sample", type=int, default=3)
     p_search.add_argument("--kappa", type=float, default=0.001)
     p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--dtype", choices=("float32", "float64"), default="float64",
+                          help="training precision (float32 halves memory traffic)")
+    p_search.add_argument("--backend", choices=("compiled", "eager"), default="compiled",
+                          help="training execution path (compiled plan vs eager tape)")
     p_search.add_argument("--top", type=int, default=5, help="top-k models to print")
     p_search.add_argument("--save-history", type=str, default=None,
                           help="write the search history to this JSON file")
@@ -151,7 +155,10 @@ def _cmd_search(args, out) -> int:
     ds = load_dataset(args.dataset, size=args.size)
     print(ds.summary(), file=out)
     space = ArchitectureSpace(num_nodes=args.num_nodes)
-    evaluation = ModelEvaluation(ds, space, epochs=args.epochs, nominal_epochs=20)
+    evaluation = ModelEvaluation(
+        ds, space, epochs=args.epochs, nominal_epochs=20,
+        backend=args.backend, dtype=args.dtype,
+    )
     run_function = evaluation
     try:
         if args.crash_prob or args.hang_prob or args.corrupt_prob:

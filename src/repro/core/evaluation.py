@@ -56,6 +56,13 @@ class ModelEvaluation:
     allreduce:
         Gradient reduction mode for the data-parallel trainer; ``"fused"``
         is the fast algebraically equivalent path used by the benches.
+    backend:
+        ``"compiled"`` (default) trains through the traced
+        :class:`~repro.nn.compiled.CompiledPlan`; ``"eager"`` uses the
+        reference autograd tape.
+    dtype:
+        Model/array precision, e.g. ``"float32"`` to halve memory traffic
+        (default ``"float64"``).
     """
 
     def __init__(
@@ -72,9 +79,13 @@ class ModelEvaluation:
         keep_best_weights: bool = False,
         nominal_epochs: int | None = None,
         apply_linear_scaling: bool = True,
+        backend: str = "compiled",
+        dtype="float64",
     ) -> None:
         if objective not in ("best", "final"):
             raise ValueError(f"objective must be 'best' or 'final', got {objective!r}")
+        if backend not in ("compiled", "eager"):
+            raise ValueError(f"backend must be 'compiled' or 'eager', got {backend!r}")
         self.dataset = dataset
         self.space = space
         self.cost_model = cost_model or TrainingCostModel()
@@ -91,11 +102,15 @@ class ModelEvaluation:
         # Ablation knob: disable the linear scaling rule (Eq. 2) so the
         # base learning rate is used unscaled at any rank count.
         self.apply_linear_scaling = apply_linear_scaling
+        self.backend = backend
+        self.dtype = np.dtype(dtype)
 
     # ------------------------------------------------------------------ #
     def build_model(self, config: ModelConfig, rng: np.random.Generator) -> GraphNetwork:
         spec = self.space.decode(config.arch)
-        return GraphNetwork(spec, self.dataset.n_features, self.dataset.n_classes, rng)
+        return GraphNetwork(
+            spec, self.dataset.n_features, self.dataset.n_classes, rng, dtype=self.dtype
+        )
 
     def __call__(self, config: ModelConfig) -> EvaluationResult:
         rng = np.random.default_rng(_config_seed(config, self.base_seed))
@@ -111,6 +126,8 @@ class ModelEvaluation:
             allreduce=self.allreduce,
             keep_best_weights=self.keep_best_weights,
             apply_linear_scaling=self.apply_linear_scaling,
+            backend=self.backend,
+            dtype=self.dtype,
         )
         result = trainer.fit(
             model,

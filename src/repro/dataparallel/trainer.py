@@ -45,6 +45,13 @@ class DataParallelTrainer:
         ``"ring"`` runs the explicit simulated ring (default),
         ``"mean"`` the reference naive average, ``"fused"`` the
         concatenated-batch fast path.
+    backend:
+        ``"compiled"`` (default) computes per-rank gradients through the
+        model's :class:`~repro.nn.compiled.CompiledPlan`; ``"eager"``
+        uses the reference tape.  Both paths agree to float tolerance.
+    dtype:
+        Optional precision override for the training arrays (``None``
+        keeps the model's dtype).
     """
 
     def __init__(
@@ -58,11 +65,15 @@ class DataParallelTrainer:
         allreduce: str = "ring",
         apply_linear_scaling: bool = True,
         keep_best_weights: bool = False,
+        backend: str = "compiled",
+        dtype=None,
     ) -> None:
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
         if allreduce not in ("ring", "mean", "fused"):
             raise ValueError(f"unknown allreduce mode {allreduce!r}")
+        if backend not in ("compiled", "eager"):
+            raise ValueError(f"backend must be 'compiled' or 'eager', got {backend!r}")
         self.num_ranks = num_ranks
         self.epochs = epochs
         self.batch_size = batch_size
@@ -72,12 +83,26 @@ class DataParallelTrainer:
         self.allreduce = allreduce
         self.apply_linear_scaling = apply_linear_scaling
         self.keep_best_weights = keep_best_weights
+        self.backend = backend
+        self.dtype = None if dtype is None else np.dtype(dtype)
 
     # ------------------------------------------------------------------ #
     def _rank_gradient(
-        self, model: GraphNetwork, X: np.ndarray, y: np.ndarray
+        self, model: GraphNetwork, X: np.ndarray, y: np.ndarray, plan=None, copy: bool = True
     ) -> tuple[list[np.ndarray], float]:
-        """Gradient of the mean loss on one rank's micro-batch."""
+        """Gradient of the mean loss on one rank's micro-batch.
+
+        With a compiled ``plan`` the gradients land in the plan's reused
+        buffers; ``copy=True`` (needed whenever per-rank gradients are
+        collected before reduction) snapshots them, while the fused path
+        passes ``copy=False`` and consumes the buffers immediately.
+        """
+        if plan is not None:
+            loss_value = plan.loss_and_grad(X, y)
+            grads = plan.grad_buffers
+            if copy:
+                grads = [g.copy() for g in grads]
+            return grads, loss_value
         params = model.parameters()
         for p in params:
             p.grad = None
@@ -106,6 +131,10 @@ class DataParallelTrainer:
                 raise ValueError(
                     f"cannot run {n} ranks on {X_train.shape[0]} training samples"
                 )
+        dtype = self.dtype or model.dtype
+        X_train = np.ascontiguousarray(X_train, dtype=dtype)
+        X_valid = np.ascontiguousarray(X_valid, dtype=dtype)
+        plan = model.compile() if self.backend == "compiled" else None
         shards = shard_indices(X_train.shape[0], n, rng)
         steps = max(1, min(len(s) for s in shards) // self.batch_size)
 
@@ -129,14 +158,18 @@ class DataParallelTrainer:
                 hi = lo + self.batch_size
                 if self.allreduce == "fused":
                     idx = np.concatenate([order[lo:hi] for order in orders])
-                    grads, loss = self._rank_gradient(model, X_train[idx], y_train[idx])
+                    grads, loss = self._rank_gradient(
+                        model, X_train[idx], y_train[idx], plan, copy=False
+                    )
                     mean_grads = grads
                 else:
                     per_rank = []
                     losses = []
                     for order in orders:
                         idx = order[lo:hi]
-                        g, loss_r = self._rank_gradient(model, X_train[idx], y_train[idx])
+                        g, loss_r = self._rank_gradient(
+                            model, X_train[idx], y_train[idx], plan
+                        )
                         per_rank.append(g)
                         losses.append(loss_r)
                     reduce_fn = ring_allreduce if self.allreduce == "ring" else allreduce_mean
@@ -152,7 +185,11 @@ class DataParallelTrainer:
                 result.epoch_train_losses.append(mean_loss)
                 result.epoch_val_accuracies.append(0.0)
                 break
-            val_acc = accuracy(model.predict_logits(X_valid), y_valid)
+            val_logits = (
+                plan.predict_logits(X_valid) if plan is not None
+                else model.predict_logits(X_valid)
+            )
+            val_acc = accuracy(val_logits, y_valid)
             result.epoch_val_accuracies.append(val_acc)
             result.epoch_train_losses.append(mean_loss)
             if val_acc > best_acc:

@@ -8,7 +8,7 @@ skip-connection graph network builder that materializes an architecture
 sampled from :class:`repro.searchspace.ArchitectureSpace`.
 """
 
-from repro.nn.autograd import Tensor, no_grad
+from repro.nn.autograd import Tensor, is_grad_enabled, no_grad
 from repro.nn.activations import ACTIVATIONS, apply_activation
 from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
 from repro.nn.layers import Dense, Layer
@@ -17,11 +17,13 @@ from repro.nn.metrics import accuracy, top_k_accuracy
 from repro.nn.optimizers import SGD, Adam, Optimizer
 from repro.nn.schedules import GradualWarmup, ReduceLROnPlateau
 from repro.nn.graph_network import GraphNetwork
+from repro.nn.compiled import CompiledPlan, assert_plan_equivalence
 from repro.nn.trainer import Trainer, TrainResult
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "is_grad_enabled",
     "ACTIVATIONS",
     "apply_activation",
     "glorot_uniform",
@@ -39,6 +41,8 @@ __all__ = [
     "GradualWarmup",
     "ReduceLROnPlateau",
     "GraphNetwork",
+    "CompiledPlan",
+    "assert_plan_equivalence",
     "Trainer",
     "TrainResult",
 ]

@@ -133,14 +133,37 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _lift(value) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _lift(value, dtype: np.dtype | None = None) -> "Tensor":
+        """Wrap ``value`` in a Tensor.
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+        Python scalars are materialized at ``dtype`` (the other operand's
+        dtype) so that mixing e.g. ``2.0 * x`` with a float32 ``x`` does not
+        silently promote the whole graph to float64: numpy treats 0-d
+        float64 *arrays* as strong types under NEP 50 promotion.
+        """
+        if isinstance(value, Tensor):
+            return value
+        if dtype is not None and not isinstance(value, np.ndarray):
+            return Tensor(np.asarray(value, dtype=dtype))
+        return Tensor(value)
+
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        ``owned=True`` promises that ``grad`` is a freshly allocated array
+        no other node holds a reference to, so the first accumulation can
+        adopt it instead of copying (backward closures pass ``owned=True``
+        exactly when they just computed the array).  Shared buffers (e.g. a
+        child's ``out.grad`` forwarded unchanged through a no-broadcast add,
+        or a read-only ``broadcast_to`` view) must keep the defensive copy.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            if owned and grad.dtype == self.data.dtype and grad.shape == self.data.shape:
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -148,7 +171,7 @@ class Tensor:
     # Operations
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = Tensor._lift(other)
+        other = Tensor._lift(other, self.data.dtype)
         out = Tensor(
             self.data + other.data,
             requires_grad=self.requires_grad or other.requires_grad,
@@ -157,8 +180,10 @@ class Tensor:
 
         def backward() -> None:
             g = out.grad
-            self._accumulate(_unbroadcast(g, self.data.shape))
-            other._accumulate(_unbroadcast(g, other.data.shape))
+            gs = _unbroadcast(g, self.data.shape)
+            self._accumulate(gs, owned=gs is not g)
+            go = _unbroadcast(g, other.data.shape)
+            other._accumulate(go, owned=go is not g)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -169,19 +194,19 @@ class Tensor:
         out = Tensor(-self.data, self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(-out.grad)
+            self._accumulate(-out.grad, owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-Tensor._lift(other))
+        return self + (-Tensor._lift(other, self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor._lift(other) + (-self)
+        return Tensor._lift(other, self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = Tensor._lift(other)
+        other = Tensor._lift(other, self.data.dtype)
         out = Tensor(
             self.data * other.data,
             requires_grad=self.requires_grad or other.requires_grad,
@@ -190,8 +215,8 @@ class Tensor:
 
         def backward() -> None:
             g = out.grad
-            self._accumulate(_unbroadcast(g * other.data, self.data.shape))
-            other._accumulate(_unbroadcast(g * self.data, other.data.shape))
+            self._accumulate(_unbroadcast(g * other.data, self.data.shape), owned=True)
+            other._accumulate(_unbroadcast(g * self.data, other.data.shape), owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -209,8 +234,8 @@ class Tensor:
 
         def backward() -> None:
             g = out.grad
-            self._accumulate(g @ other.data.T)
-            other._accumulate(self.data.T @ g)
+            self._accumulate(g @ other.data.T, owned=True)
+            other._accumulate(self.data.T @ g, owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -241,7 +266,7 @@ class Tensor:
         out = Tensor(np.where(mask, self.data, 0.0), self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(out.grad * mask)
+            self._accumulate(out.grad * mask, owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -251,7 +276,7 @@ class Tensor:
         out = Tensor(value, self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(out.grad * (1.0 - value * value))
+            self._accumulate(out.grad * (1.0 - value * value), owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -261,7 +286,7 @@ class Tensor:
         out = Tensor(value, self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(out.grad * value * (1.0 - value))
+            self._accumulate(out.grad * value * (1.0 - value), owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -273,7 +298,7 @@ class Tensor:
         out = Tensor(value, self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(out.grad * (sig + value * (1.0 - sig)))
+            self._accumulate(out.grad * (sig + value * (1.0 - sig)), owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -284,7 +309,7 @@ class Tensor:
         out = Tensor(value, self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(-out.grad * value * value)
+            self._accumulate(-out.grad * value * value, owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -295,7 +320,7 @@ class Tensor:
         out = Tensor(value, self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(out.grad * 0.5 / value)
+            self._accumulate(out.grad * 0.5 / value, owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -316,7 +341,7 @@ class Tensor:
         out = Tensor(self.data * self.data, self.requires_grad, (self,))
 
         def backward() -> None:
-            self._accumulate(out.grad * 2.0 * self.data)
+            self._accumulate(out.grad * 2.0 * self.data, owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -331,7 +356,7 @@ class Tensor:
         def backward() -> None:
             g = out.grad
             softmax = np.exp(value)
-            self._accumulate(g - softmax * g.sum(axis=1, keepdims=True))
+            self._accumulate(g - softmax * g.sum(axis=1, keepdims=True), owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out
@@ -344,7 +369,7 @@ class Tensor:
         def backward() -> None:
             g = np.zeros_like(self.data)
             np.add.at(g, (rows, index), out.grad)
-            self._accumulate(g)
+            self._accumulate(g, owned=True)
 
         out._backward = backward if out.requires_grad else None
         return out

@@ -1,0 +1,492 @@
+"""Compiled execution plans: trace a ``GraphNetwork`` into a flat op schedule.
+
+The eager engine (:mod:`repro.nn.autograd`) rebuilds a tape of ``Tensor``
+nodes and backward closures on *every* forward pass.  That is the right
+reference semantics, but for search workloads — thousands of 20-epoch
+trainings of small networks — tape construction and per-op temporary
+allocation dominate the step time.
+
+:class:`CompiledPlan` removes both costs.  ``GraphNetwork.compile()`` walks
+the architecture **once** and emits a flat schedule of fused ops:
+
+- ``_DenseOp`` — affine + activation in one step (``act(x @ W + b)``),
+  with the activation's backward auxiliaries (ReLU mask, sigmoid/swish
+  values) stored in preallocated buffers;
+- ``_SkipOp`` — skip-connection fusion: all incoming projections, the
+  sums, and the ReLU execute as one step (projection + sum + ReLU fused);
+- identity nodes emit **no op at all**: their output slot aliases the
+  input slot at trace time.
+
+Execution writes into per-batch-size buffer sets (allocated on first use,
+reused forever after), parameter gradients accumulate in place into
+preallocated per-parameter buffers, and the steady-state train step does
+zero tape reconstruction and near-zero allocation.
+
+Numerical contract: the plan replays the *exact* operation order of the
+eager tape (same kernels, same association order for skip sums, the same
+stable-sigmoid formula), so losses and gradients match the eager reference
+to float round-off; :func:`assert_plan_equivalence` is the seeded gate the
+test-suite and the perf harness both call.
+
+Buffer-reuse invariants (see DESIGN.md §Performance):
+
+1. every forward value slot is written exactly once per step and stays
+   valid until the next ``loss_and_grad``/``predict_logits`` call on the
+   same plan (backward reads forward values);
+2. gradient slots are written by their *first* consumer in reverse
+   schedule order (a plain write, precomputed at trace time) and ``+=``
+   by every later consumer — no zeroing pass is needed;
+3. per-parameter gradient buffers are fully overwritten each step (every
+   parameter has exactly one consuming op), so stale values can never
+   leak between steps;
+4. a plan is **not** thread-safe: concurrent evaluations must compile one
+   plan per model (which the evaluators do — one model per candidate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dense
+
+__all__ = ["CompiledPlan", "assert_plan_equivalence"]
+
+
+def _stable_sigmoid_into(x: np.ndarray, out: np.ndarray, scratch: np.ndarray,
+                         neg: np.ndarray) -> None:
+    """Numerically stable sigmoid, bitwise-equal to the eager formula.
+
+    ``exp(-|x|)`` is shared by both branches: for ``x >= 0`` the eager path
+    computes ``1 / (1 + exp(-x))`` and for ``x < 0`` it computes
+    ``e / (1 + e)`` with ``e = exp(x)`` — in both cases the exponential is
+    ``exp(-|x|)``, so the branchless form below reproduces the same bits.
+    """
+    np.less(x, 0.0, out=neg)
+    np.abs(x, out=scratch)
+    np.negative(scratch, out=scratch)
+    np.exp(scratch, out=scratch)          # exp(-|x|)
+    np.add(scratch, 1.0, out=out)         # 1 + exp(-|x|)
+    np.divide(scratch, out, out=scratch)  # negative branch: e / (1 + e)
+    np.divide(1.0, out, out=out)          # positive branch: 1 / (1 + e)
+    np.copyto(out, scratch, where=neg)
+
+
+class _DenseOp:
+    """Fused affine + activation: ``out = act(in @ W + b)``."""
+
+    __slots__ = ("layer", "activation", "in_slot", "out_slot",
+                 "in_needs_grad", "first_touch")
+
+    def __init__(self, layer: Dense, in_slot: int, out_slot: int) -> None:
+        self.layer = layer
+        self.activation = layer.activation
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+        self.in_needs_grad = True   # patched by the plan for the input slot
+        self.first_touch = True     # patched by the plan (reverse-order scan)
+
+    def forward(self, vals: list[np.ndarray], aux: dict) -> None:
+        h = vals[self.in_slot]
+        out = vals[self.out_slot]
+        np.matmul(h, self.layer.W.data, out=out)
+        out += self.layer.b.data
+        act = self.activation
+        if act is None or act == "identity":
+            return
+        if act == "relu":
+            mask, nmask = aux[(id(self), "mask")], aux[(id(self), "nmask")]
+            np.greater(out, 0.0, out=mask)
+            np.logical_not(mask, out=nmask)
+            np.copyto(out, 0.0, where=nmask)
+        elif act == "tanh":
+            np.tanh(out, out=out)  # backward reads the stored output
+        elif act == "sigmoid":
+            scr, neg = aux[(id(self), "scr")], aux[(id(self), "neg")]
+            _stable_sigmoid_into(out, out, scr, neg)
+        elif act == "swish":
+            sig = aux[(id(self), "sig")]
+            scr, neg = aux[(id(self), "scr")], aux[(id(self), "neg")]
+            _stable_sigmoid_into(out, sig, scr, neg)
+            np.multiply(out, sig, out=out)
+        else:  # pragma: no cover - trace time rejects unknown activations
+            raise AssertionError(f"unknown activation {act!r}")
+
+    def backward(self, vals: list[np.ndarray], grads: list[np.ndarray | None],
+                 aux: dict, gW: np.ndarray, gb: np.ndarray) -> None:
+        dout = grads[self.out_slot]
+        act = self.activation
+        if act == "relu":
+            dout *= aux[(id(self), "mask")]
+        elif act == "tanh":
+            v = vals[self.out_slot]
+            scr = aux[(id(self), "scr")]
+            np.multiply(v, v, out=scr)
+            np.subtract(1.0, scr, out=scr)
+            dout *= scr
+        elif act == "sigmoid":
+            v = vals[self.out_slot]
+            scr = aux[(id(self), "scr")]
+            np.subtract(1.0, v, out=scr)
+            dout *= v
+            dout *= scr
+        elif act == "swish":
+            sig = aux[(id(self), "sig")]
+            scr = aux[(id(self), "scr")]
+            v = vals[self.out_slot]
+            np.subtract(1.0, sig, out=scr)
+            scr *= v
+            scr += sig
+            dout *= scr
+        h = vals[self.in_slot]
+        np.matmul(h.T, dout, out=gW)
+        np.sum(dout, axis=0, out=gb)
+        if self.in_needs_grad:
+            din = grads[self.in_slot]
+            if self.first_touch:
+                np.matmul(dout, self.layer.W.data.T, out=din)
+            else:
+                tmp = aux[(id(self), "dtmp")]
+                np.matmul(dout, self.layer.W.data.T, out=tmp)
+                din += tmp
+
+
+class _SkipOp:
+    """Fused skip connection: ``out = relu(base + Σ_s proj_s(h_s))``.
+
+    Sources are summed in ascending-source order — the association order of
+    the eager path — so the forward values match bitwise.
+    """
+
+    __slots__ = ("base_slot", "sources", "out_slot",
+                 "base_needs_grad", "base_first_touch", "source_flags")
+
+    def __init__(self, base_slot: int,
+                 sources: list[tuple[int, Dense]], out_slot: int) -> None:
+        self.base_slot = base_slot
+        self.sources = sources  # [(slot, projection layer)] ascending source
+        self.out_slot = out_slot
+        self.base_needs_grad = True
+        self.base_first_touch = True
+        # per source (reverse order): (needs_grad, first_touch)
+        self.source_flags: list[tuple[bool, bool]] = [(True, True)] * len(sources)
+
+    def forward(self, vals: list[np.ndarray], aux: dict) -> None:
+        acc = vals[self.out_slot]
+        ptmp = aux[(id(self), "ptmp")]
+        for k, (slot, proj) in enumerate(self.sources):
+            np.matmul(vals[slot], proj.W.data, out=ptmp)
+            ptmp += proj.b.data
+            if k == 0:
+                np.add(vals[self.base_slot], ptmp, out=acc)
+            else:
+                acc += ptmp
+        mask, nmask = aux[(id(self), "mask")], aux[(id(self), "nmask")]
+        np.greater(acc, 0.0, out=mask)
+        np.logical_not(mask, out=nmask)
+        np.copyto(acc, 0.0, where=nmask)
+
+    def backward(self, vals: list[np.ndarray], grads: list[np.ndarray | None],
+                 aux: dict, param_grads: dict) -> None:
+        dacc = grads[self.out_slot]
+        dacc *= aux[(id(self), "mask")]
+        if self.base_needs_grad:
+            dbase = grads[self.base_slot]
+            if self.base_first_touch:
+                np.copyto(dbase, dacc)
+            else:
+                dbase += dacc
+        # Reverse source order mirrors the eager tape's unwinding of the
+        # nested adds, keeping multi-consumer accumulation order identical.
+        for k in range(len(self.sources) - 1, -1, -1):
+            slot, proj = self.sources[k]
+            needs_grad, first = self.source_flags[k]
+            gW, gb = param_grads[id(proj)]
+            np.matmul(vals[slot].T, dacc, out=gW)
+            np.sum(dacc, axis=0, out=gb)
+            if needs_grad:
+                dsrc = grads[slot]
+                if first:
+                    np.matmul(dacc, proj.W.data.T, out=dsrc)
+                else:
+                    dtmp = aux[(id(self), "dtmp", k)]
+                    np.matmul(dacc, proj.W.data.T, out=dtmp)
+                    dsrc += dtmp
+
+
+class _BufferSet:
+    """All per-batch-size arrays one plan execution needs."""
+
+    __slots__ = ("vals", "grads", "aux", "rows", "probs", "rowred")
+
+    def __init__(self, plan: "CompiledPlan", n: int) -> None:
+        dt = plan.dtype
+        widths = plan.slot_widths
+        self.vals: list[np.ndarray] = [np.empty((n, w), dtype=dt) for w in widths]
+        # Slot 0 is the input design matrix; it is replaced per call.
+        self.grads: list[np.ndarray | None] = [
+            None if s == 0 else np.empty((n, w), dtype=dt)
+            for s, w in enumerate(widths)
+        ]
+        aux: dict = {}
+        for op in plan.ops:
+            key = id(op)
+            if isinstance(op, _DenseOp):
+                w = widths[op.out_slot]
+                act = op.activation
+                if act == "relu":
+                    aux[(key, "mask")] = np.empty((n, w), dtype=bool)
+                    aux[(key, "nmask")] = np.empty((n, w), dtype=bool)
+                elif act in ("tanh",):
+                    aux[(key, "scr")] = np.empty((n, w), dtype=dt)
+                elif act in ("sigmoid", "swish"):
+                    aux[(key, "scr")] = np.empty((n, w), dtype=dt)
+                    aux[(key, "neg")] = np.empty((n, w), dtype=bool)
+                    if act == "swish":
+                        aux[(key, "sig")] = np.empty((n, w), dtype=dt)
+                if op.in_needs_grad and not op.first_touch:
+                    aux[(key, "dtmp")] = np.empty((n, widths[op.in_slot]), dtype=dt)
+            else:  # _SkipOp
+                w = widths[op.out_slot]
+                aux[(key, "ptmp")] = np.empty((n, w), dtype=dt)
+                aux[(key, "mask")] = np.empty((n, w), dtype=bool)
+                aux[(key, "nmask")] = np.empty((n, w), dtype=bool)
+                for k, (slot, _) in enumerate(op.sources):
+                    needs_grad, first = op.source_flags[k]
+                    if needs_grad and not first:
+                        aux[(key, "dtmp", k)] = np.empty((n, widths[slot]), dtype=dt)
+        self.aux = aux
+        self.rows = np.arange(n)
+        n_classes = widths[plan.logits_slot]
+        self.probs = np.empty((n, n_classes), dtype=dt)
+        self.rowred = np.empty((n, 1), dtype=dt)
+
+
+class CompiledPlan:
+    """Flat, fused, buffer-reusing execution plan for one ``GraphNetwork``.
+
+    Built by :meth:`repro.nn.graph_network.GraphNetwork.compile`.  The plan
+    holds references to the network's parameter :class:`Tensor` objects, so
+    in-place optimizer updates and ``set_weights`` are picked up without
+    re-tracing.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self.dtype = model.dtype
+        spec = model.spec
+        m = spec.num_nodes
+
+        slot_widths: list[int] = [model.input_dim]   # slot 0 = input
+        node_slot: list[int] = [0]                   # graph node -> slot
+        ops: list[_DenseOp | _SkipOp] = []
+
+        def new_slot(width: int) -> int:
+            slot_widths.append(width)
+            return len(slot_widths) - 1
+
+        for i in range(1, m + 2):  # variable nodes, then the output node
+            incoming = node_slot[i - 1]
+            skip_sources = sorted(
+                s for (s, d) in model._projections if d == i
+            )
+            if skip_sources:
+                out = new_slot(slot_widths[incoming])
+                ops.append(_SkipOp(
+                    incoming,
+                    [(node_slot[s], model._projections[(s, i)]) for s in skip_sources],
+                    out,
+                ))
+                incoming = out
+            if i <= m:
+                layer = model._node_layers[i - 1]
+                if layer is None:
+                    node_slot.append(incoming)  # identity: alias, no op
+                else:
+                    out = new_slot(layer.units)
+                    ops.append(_DenseOp(layer, incoming, out))
+                    node_slot.append(out)
+            else:
+                out = new_slot(model.n_classes)
+                ops.append(_DenseOp(model._output, incoming, out))
+                self.logits_slot = out
+
+        self.ops = ops
+        self.slot_widths = slot_widths
+
+        # Reverse-order scan: decide, per gradient slot, which consumer
+        # writes first (plain store) and which accumulate (+=).  Slot 0 is
+        # the input and never receives a gradient.
+        touched: set[int] = set()
+
+        def claim(slot: int) -> tuple[bool, bool]:
+            if slot == 0:
+                return False, True
+            first = slot not in touched
+            touched.add(slot)
+            return True, first
+
+        for op in reversed(ops):
+            if isinstance(op, _DenseOp):
+                op.in_needs_grad, op.first_touch = claim(op.in_slot)
+            else:
+                op.base_needs_grad, op.base_first_touch = claim(op.base_slot)
+                op.source_flags = [claim(slot) for slot, _ in reversed(op.sources)]
+                op.source_flags.reverse()  # re-align with ascending sources
+
+        # Preallocated per-parameter gradient buffers, one (gW, gb) pair per
+        # layer; each layer is consumed by exactly one op, so every buffer
+        # is fully overwritten each step.
+        self.param_grads: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._layers: list[Dense] = []
+        for op in ops:
+            if isinstance(op, _DenseOp):
+                self._register_layer(op.layer)
+            else:
+                for _, proj in op.sources:
+                    self._register_layer(proj)
+        self._params: list[Tensor] = model.parameters()
+        self.grad_buffers: list[np.ndarray] = [self._grad_for(p) for p in self._params]
+
+        self._buffers: dict[int, _BufferSet] = {}
+
+    # ------------------------------------------------------------------ #
+    def _register_layer(self, layer: Dense) -> None:
+        if id(layer) not in self.param_grads:
+            gW = np.empty_like(layer.W.data)
+            gb = np.empty_like(layer.b.data)
+            self.param_grads[id(layer)] = (gW, gb)
+            self._layers.append(layer)
+
+    def _grad_for(self, p: Tensor) -> np.ndarray:
+        for layer in self._layers:
+            gW, gb = self.param_grads[id(layer)]
+            if p is layer.W:
+                return gW
+            if p is layer.b:
+                return gb
+        raise ValueError(f"parameter {p!r} is not part of this plan")
+
+    def buffers_for(self, n: int) -> _BufferSet:
+        bufs = self._buffers.get(n)
+        if bufs is None:
+            bufs = _BufferSet(self, n)
+            self._buffers[n] = bufs
+        return bufs
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    # ------------------------------------------------------------------ #
+    def _forward(self, X: np.ndarray, bufs: _BufferSet) -> np.ndarray:
+        bufs.vals[0] = X
+        aux = bufs.aux
+        vals = bufs.vals
+        for op in self.ops:
+            op.forward(vals, aux)
+        return vals[self.logits_slot]
+
+    def loss_and_grad(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean softmax cross-entropy and its gradients, in one fused pass.
+
+        On return every model parameter's ``.grad`` points at this plan's
+        preallocated buffer holding the fresh gradient, ready for
+        ``optimizer.step()`` — no ``zero_grad`` is required (buffers are
+        fully overwritten, never accumulated across steps).
+        """
+        X = np.ascontiguousarray(X, dtype=self.dtype)
+        y = np.asarray(y)
+        n = X.shape[0]
+        bufs = self.buffers_for(n)
+        logits = self._forward(X, bufs)
+
+        # Softmax cross-entropy, replaying the eager op order exactly.
+        shifted = bufs.probs
+        rowred = bufs.rowred
+        np.max(logits, axis=1, keepdims=True, out=rowred)
+        np.subtract(logits, rowred, out=shifted)
+        dlogits = bufs.grads[self.logits_slot]
+        np.exp(shifted, out=dlogits)                       # exp(shifted), reused
+        np.sum(dlogits, axis=1, keepdims=True, out=rowred)
+        np.log(rowred, out=rowred)
+        shifted -= rowred                                  # log-probs
+        labels = y.astype(np.intp, copy=False)
+        picked = shifted[bufs.rows, labels]
+        loss = -float(picked.mean())
+
+        # d loss / d logits = (softmax - onehot) / n
+        c = 1.0 / n
+        np.exp(shifted, out=dlogits)                       # softmax
+        dlogits *= c
+        dlogits[bufs.rows, labels] -= c
+
+        vals, grads, aux = bufs.vals, bufs.grads, bufs.aux
+        for op in reversed(self.ops):
+            if isinstance(op, _DenseOp):
+                gW, gb = self.param_grads[id(op.layer)]
+                op.backward(vals, grads, aux, gW, gb)
+            else:
+                op.backward(vals, grads, aux, self.param_grads)
+        self.install_grads()
+        return loss
+
+    def install_grads(self) -> None:
+        """Point every parameter's ``.grad`` at its plan buffer."""
+        for p, g in zip(self._params, self.grad_buffers):
+            p.grad = g
+
+    def predict_logits(self, X: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Inference-mode logits, chunked to bound peak buffer memory."""
+        X = np.ascontiguousarray(X, dtype=self.dtype)
+        n = X.shape[0]
+        n_classes = self.slot_widths[self.logits_slot]
+        out = np.empty((n, n_classes), dtype=self.dtype)
+        for start in range(0, n, batch_size):
+            chunk = X[start : start + batch_size]
+            bufs = self.buffers_for(chunk.shape[0])
+            out[start : start + chunk.shape[0]] = self._forward(
+                np.ascontiguousarray(chunk), bufs
+            )
+        return out
+
+
+def assert_plan_equivalence(
+    model,
+    X: np.ndarray,
+    y: np.ndarray,
+    tol: float = 1e-10,
+) -> dict[str, float]:
+    """Seeded equivalence gate: compiled plan vs. the eager tape.
+
+    Computes the loss and all parameter gradients along both paths on the
+    same inputs and raises ``AssertionError`` if any quantity differs by
+    more than ``tol``.  Returns the observed maximum deviations so callers
+    (tests, the perf harness) can report them.
+    """
+    from repro.nn.losses import softmax_cross_entropy
+
+    plan = model.compile()
+
+    # Eager reference.
+    params = model.parameters()
+    for p in params:
+        p.grad = None
+    loss_e = softmax_cross_entropy(model.forward(X), y)
+    loss_e.backward()
+    eager_loss = loss_e.item()
+    eager_grads = [np.array(p.grad, copy=True) for p in params]
+
+    compiled_loss = plan.loss_and_grad(X, y)
+
+    loss_diff = abs(eager_loss - compiled_loss)
+    grad_diff = 0.0
+    for ge, p in zip(eager_grads, params):
+        grad_diff = max(grad_diff, float(np.max(np.abs(ge - p.grad))))
+    report = {"loss_diff": loss_diff, "grad_diff": grad_diff}
+    if loss_diff > tol or grad_diff > tol or not np.isfinite(eager_loss):
+        raise AssertionError(
+            f"compiled/eager divergence: loss diff {loss_diff:.3e}, "
+            f"max grad diff {grad_diff:.3e} exceeds tol {tol:.1e}"
+        )
+    return report

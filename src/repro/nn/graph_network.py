@@ -95,6 +95,10 @@ class GraphNetwork:
         Tabular input width and number of output classes.
     rng:
         Generator for all weight initialization, making a build reproducible.
+    dtype:
+        Parameter/activation precision (float64 default, float32 optional).
+        Weights are drawn in float64 and cast, so the same seed produces
+        the same network at either precision.
     """
 
     def __init__(
@@ -103,12 +107,17 @@ class GraphNetwork:
         input_dim: int,
         n_classes: int,
         rng: np.random.Generator,
+        dtype=np.float64,
     ) -> None:
         if input_dim <= 0 or n_classes <= 1:
             raise ValueError(f"invalid dims: input_dim={input_dim}, n_classes={n_classes}")
         self.spec = spec
         self.input_dim = input_dim
         self.n_classes = n_classes
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"dtype must be a float type, got {self.dtype}")
+        self._plan = None  # lazily built CompiledPlan (see compile())
 
         m = spec.num_nodes
         # Width of each graph node's output tensor, propagated through
@@ -121,7 +130,9 @@ class GraphNetwork:
                 self._node_layers.append(None)
                 widths.append(in_width)
             else:
-                layer = Dense(in_width, op.units, op.activation, rng, name=f"node{i}")
+                layer = Dense(
+                    in_width, op.units, op.activation, rng, name=f"node{i}", dtype=self.dtype
+                )
                 self._node_layers.append(layer)
                 widths.append(op.units)
         self._widths = widths
@@ -134,10 +145,10 @@ class GraphNetwork:
         for src, dst in sorted(spec.skips):
             target_width = widths[dst - 1]
             self._projections[(src, dst)] = Dense(
-                widths[src], target_width, None, rng, name=f"proj{src}-{dst}"
+                widths[src], target_width, None, rng, name=f"proj{src}-{dst}", dtype=self.dtype
             )
 
-        self._output = Dense(widths[m], n_classes, None, rng, name="output")
+        self._output = Dense(widths[m], n_classes, None, rng, name="output", dtype=self.dtype)
 
     # ------------------------------------------------------------------ #
     def parameters(self) -> list[Tensor]:
@@ -157,7 +168,7 @@ class GraphNetwork:
     # ------------------------------------------------------------------ #
     def forward(self, x: np.ndarray | Tensor) -> Tensor:
         """Compute logits for a ``(batch, input_dim)`` design matrix."""
-        h = x if isinstance(x, Tensor) else Tensor(x)
+        h = x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=self.dtype))
         if h.shape[-1] != self.input_dim:
             raise ValueError(f"expected input width {self.input_dim}, got {h.shape[-1]}")
         outputs: list[Tensor] = [h]  # outputs[i] is graph node i's output
@@ -178,6 +189,20 @@ class GraphNetwork:
         raise AssertionError("unreachable")
 
     __call__ = forward
+
+    def compile(self) -> "CompiledPlan":
+        """Trace this architecture into a :class:`~repro.nn.compiled.CompiledPlan`.
+
+        The plan is built once and cached; it shares this network's
+        parameter tensors, so optimizer updates (which mutate ``p.data``
+        in place) are visible to subsequent plan executions and
+        :meth:`get_weights`/:meth:`set_weights` keep working.
+        """
+        if self._plan is None:
+            from repro.nn.compiled import CompiledPlan
+
+            self._plan = CompiledPlan(self)
+        return self._plan
 
     def predict_logits(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
         """Inference-mode logits, batched to bound peak memory."""

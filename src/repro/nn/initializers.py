@@ -3,6 +3,10 @@
 All initializers take an explicit :class:`numpy.random.Generator` so that
 architecture evaluations are reproducible given a seed — a requirement for
 deterministic search trajectories in the benchmark harness.
+
+Every initializer draws in float64 (so a given seed yields the same weights
+regardless of the requested precision) and then casts to ``dtype``; the
+cast is a no-op for the float64 default.
 """
 
 from __future__ import annotations
@@ -12,17 +16,23 @@ import numpy as np
 __all__ = ["glorot_uniform", "he_normal", "zeros_init"]
 
 
-def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator, dtype=np.float64
+) -> np.ndarray:
     """Glorot/Xavier uniform initialization, suited to tanh/sigmoid layers."""
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    w = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return np.asarray(w, dtype=dtype)
 
 
-def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def he_normal(
+    fan_in: int, fan_out: int, rng: np.random.Generator, dtype=np.float64
+) -> np.ndarray:
     """He normal initialization, suited to ReLU-family layers."""
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+    w = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+    return np.asarray(w, dtype=dtype)
 
 
-def zeros_init(*shape: int) -> np.ndarray:
+def zeros_init(*shape: int, dtype=np.float64) -> np.ndarray:
     """Zero initialization (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=dtype)

@@ -47,6 +47,16 @@ class Trainer:
     keep_best_weights:
         If True, retain a copy of the weights from the best-validation
         epoch (used when the selected model is later evaluated on test).
+    backend:
+        ``"compiled"`` (default) trains through the model's
+        :class:`~repro.nn.compiled.CompiledPlan` — traced once, fused
+        kernels, preallocated buffers; ``"eager"`` uses the reference
+        tape.  Both produce numerically matching results (the equivalence
+        gate in ``tests/test_compiled.py`` asserts it).
+    dtype:
+        Optional precision override for the training arrays.  ``None``
+        keeps the model's dtype; ``np.float32`` roughly halves memory
+        traffic on the hot path.
     """
 
     def __init__(
@@ -57,17 +67,23 @@ class Trainer:
         warmup_epochs: int = 5,
         plateau_patience: int = 5,
         keep_best_weights: bool = False,
+        backend: str = "compiled",
+        dtype=None,
     ) -> None:
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if backend not in ("compiled", "eager"):
+            raise ValueError(f"backend must be 'compiled' or 'eager', got {backend!r}")
         self.epochs = epochs
         self.batch_size = batch_size
         self.learning_rate = learning_rate
         self.warmup_epochs = warmup_epochs
         self.plateau_patience = plateau_patience
         self.keep_best_weights = keep_best_weights
+        self.backend = backend
+        self.dtype = None if dtype is None else np.dtype(dtype)
 
     def fit(
         self,
@@ -82,6 +98,10 @@ class Trainer:
         n = X_train.shape[0]
         if n == 0:
             raise ValueError("empty training set")
+        dtype = self.dtype or model.dtype
+        X_train = np.ascontiguousarray(X_train, dtype=dtype)
+        X_valid = np.ascontiguousarray(X_valid, dtype=dtype)
+        plan = model.compile() if self.backend == "compiled" else None
         optimizer = Adam(model.parameters(), lr=self.learning_rate)
         warmup = GradualWarmup(optimizer, self.learning_rate, self.warmup_epochs)
         plateau = ReduceLROnPlateau(optimizer, patience=self.plateau_patience)
@@ -95,12 +115,17 @@ class Trainer:
             n_batches = 0
             for start in range(0, n, self.batch_size):
                 idx = order[start : start + self.batch_size]
-                logits = model.forward(X_train[idx])
-                loss = softmax_cross_entropy(logits, y_train[idx])
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item()
+                if plan is not None:
+                    loss_value = plan.loss_and_grad(X_train[idx], y_train[idx])
+                    optimizer.step()
+                else:
+                    logits = model.forward(X_train[idx])
+                    loss = softmax_cross_entropy(logits, y_train[idx])
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    loss_value = loss.item()
+                epoch_loss += loss_value
                 n_batches += 1
             mean_loss = epoch_loss / max(n_batches, 1)
             if not np.isfinite(mean_loss):
@@ -111,7 +136,11 @@ class Trainer:
                 result.epoch_train_losses.append(mean_loss)
                 result.epoch_val_accuracies.append(0.0)
                 break
-            val_acc = accuracy(model.predict_logits(X_valid), y_valid)
+            val_logits = (
+                plan.predict_logits(X_valid) if plan is not None
+                else model.predict_logits(X_valid)
+            )
+            val_acc = accuracy(val_logits, y_valid)
             result.epoch_val_accuracies.append(val_acc)
             result.epoch_train_losses.append(mean_loss)
             if val_acc > best_acc:

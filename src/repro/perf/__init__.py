@@ -1,0 +1,18 @@
+"""Performance-regression harness for the hot paths.
+
+The search loop spends its time in two places: training sampled networks
+(worker side) and refitting/querying the forest surrogate (optimizer
+side).  :mod:`repro.perf.timer` provides seeded, median-of-k timing and a
+JSON report writer; ``benchmarks/test_perf_train.py`` and
+``benchmarks/test_perf_surrogate.py`` use them to record before/after
+medians for the compiled training plan and the vectorized forest against
+their reference implementations, writing ``BENCH_train.json`` and
+``BENCH_surrogate.json`` at the repo root.
+
+Timings are recorded, never asserted — only numerical-equivalence gates
+can fail the benches, so they stay meaningful on noisy CI machines.
+"""
+
+from repro.perf.timer import BenchEntry, median_time, write_bench_json
+
+__all__ = ["BenchEntry", "median_time", "write_bench_json"]

@@ -1,0 +1,86 @@
+"""Seeded median-of-k timing and the benchmark JSON report format.
+
+``median_time`` is deliberately minimal: warm the callable (JIT-free
+numpy still benefits from page faults, allocator pools and branch
+predictors settling), then take the median of ``repeats`` full
+executions.  Medians resist the one-off scheduler hiccup that poisons
+means on shared CI runners.
+
+``write_bench_json`` persists a list of :class:`BenchEntry` rows — each a
+(reference, optimized) pair of medians with the derived speedup — so the
+before/after evidence for an optimization lives in the repo next to the
+code it describes, not in a CI log that expires.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["BenchEntry", "median_time", "write_bench_json"]
+
+
+def median_time(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> float:
+    """Median wall-clock seconds of ``repeats`` calls after ``warmup``.
+
+    The callable must be self-contained (re-seed inside if it consumes
+    randomness) so every repetition measures identical work.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(statistics.median(samples))
+
+
+@dataclass
+class BenchEntry:
+    """One before/after measurement: a reference path vs its optimized twin."""
+
+    name: str
+    reference_s: float
+    optimized_s: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_s / self.optimized_s if self.optimized_s > 0 else float("inf")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "reference_s": self.reference_s,
+            "optimized_s": self.optimized_s,
+            "speedup": round(self.speedup, 2),
+            **({"meta": self.meta} if self.meta else {}),
+        }
+
+
+def write_bench_json(path: str | Path, bench: str, entries: list[BenchEntry]) -> Path:
+    """Write a benchmark report; returns the written path."""
+    path = Path(path)
+    report = {
+        "bench": bench,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "entries": [e.as_dict() for e in entries],
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
