@@ -69,7 +69,15 @@ class BayesianOptimizer:
         if candidate_pool_size < 1:
             raise ValueError("candidate_pool_size must be >= 1")
         if surrogate not in ("forest", "knn", "random"):
-            raise ValueError(f"unknown surrogate {surrogate!r}")
+            # Extension point: the campaign layer's surrogate registry can
+            # supply additional surrogates by name.
+            from repro.campaign.registry import SURROGATES
+
+            if surrogate not in SURROGATES:
+                raise ValueError(
+                    f"unknown surrogate {surrogate!r}; built-in: 'forest', 'knn', "
+                    f"'random'; registered: {SURROGATES.names()}"
+                )
         self.space = space
         self.kappa = kappa
         self.n_initial_points = n_initial_points
@@ -136,6 +144,10 @@ class BayesianOptimizer:
     def _fit_surrogate(self, X: np.ndarray, y: np.ndarray):
         if self.surrogate == "knn":
             return KNNSurrogate().fit(X, y, self._rng)
+        if self.surrogate != "forest":
+            from repro.campaign.registry import SURROGATES
+
+            return SURROGATES.get(self.surrogate)().fit(X, y, self._rng)
         forest = RandomForestRegressor(
             n_trees=self._forest_proto.n_trees,
             max_depth=self._forest_proto.max_depth,

@@ -1,5 +1,12 @@
 """Command-line interface: run searches and baselines without writing code.
 
+The ``search`` command is a thin adapter: argparse flags are folded into a
+typed :class:`repro.campaign.CampaignConfig` and handed to
+:func:`repro.campaign.build_campaign` (or
+:func:`~repro.campaign.resume_campaign`), which does all the wiring.
+Checkpoints embed the campaign config itself, so ``--resume`` restores
+every knob — present and future — without a pinned argument list.
+
 Examples
 --------
 List the benchmarks::
@@ -22,6 +29,10 @@ bit-identical final history)::
         --max-evaluations 64
     python -m repro.cli search --resume camp.ckpt --max-evaluations 64
 
+Record the structured event stream of a campaign::
+
+    python -m repro.cli search --dataset covertype --events events.jsonl
+
 Fit the AutoGluon-like ensemble::
 
     python -m repro.cli baseline --dataset albert --system autogluon
@@ -30,25 +41,25 @@ Fit the AutoGluon-like ensemble::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.analysis import utilization_summary
-from repro.core import ModelEvaluation, make_age_variant, make_agebo_variant
-from repro.core.variants import AGEBO_VARIANTS
-from repro.datasets import DATASET_SPECS, dataset_names, load_dataset
-from repro.searchspace import ArchitectureSpace
-from repro.workflow import FaultInjector, FaultPolicy, SimulatedEvaluator
-
-__all__ = ["main", "build_parser"]
-
-# Arguments a checkpoint must pin so --resume rebuilds the same campaign.
-_RESUME_KEYS = (
-    "dataset", "method", "num_ranks", "size", "num_nodes", "workers", "epochs",
-    "population", "sample", "kappa", "seed", "dtype", "backend",
-    "on_error", "max_retries", "retry_backoff", "timeout", "failure_objective",
-    "crash_prob", "hang_prob", "corrupt_prob", "hang_factor", "fault_seed",
+from repro.campaign import (
+    CampaignConfig,
+    CheckpointConfig,
+    EvaluatorConfig,
+    FaultConfig,
+    JsonlEventLog,
+    ProgressReporter,
+    SearchConfig,
+    TrainingConfig,
+    build_campaign,
+    resume_campaign,
 )
+from repro.core.variants import AGEBO_VARIANTS
+from repro.datasets import DATASET_SPECS, dataset_names
+
+__all__ = ["main", "build_parser", "config_from_args"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the search history to this JSON file")
     p_search.add_argument("--report", type=str, default=None,
                           help="write a markdown campaign report to this file")
+    # Structured events
+    p_search.add_argument("--events", type=str, default=None,
+                          help="write the campaign's JSONL event log to this file")
+    p_search.add_argument("--progress", action="store_true",
+                          help="print per-evaluation progress lines")
     # Fault tolerance
     p_search.add_argument("--on-error", choices=("raise", "penalize", "retry"),
                           default="penalize",
@@ -112,9 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--checkpoint-every", type=int, default=1,
                           help="checkpoint every N completed iterations")
     p_search.add_argument("--resume", type=str, default=None,
-                          help="resume a checkpointed campaign (other search "
-                               "arguments are restored from the checkpoint; "
-                               "budgets may be extended)")
+                          help="resume a checkpointed campaign (the campaign "
+                               "config is restored from the checkpoint; budgets "
+                               "may be extended)")
 
     p_base = sub.add_parser("baseline", help="run an AutoML baseline")
     p_base.add_argument("--dataset", choices=dataset_names(), required=True)
@@ -123,6 +139,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_base.add_argument("--size", type=int, default=2000)
     p_base.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def config_from_args(args) -> CampaignConfig:
+    """Fold the ``search`` subcommand's flags into a typed campaign config."""
+    return CampaignConfig(
+        dataset=args.dataset,
+        size=args.size,
+        num_nodes=args.num_nodes,
+        max_evaluations=args.max_evaluations,
+        wall_time_minutes=args.wall_minutes,
+        search=SearchConfig(
+            method=args.method,
+            population_size=args.population,
+            sample_size=args.sample,
+            seed=args.seed,
+            num_ranks=args.num_ranks,
+            kappa=args.kappa,
+        ),
+        training=TrainingConfig(
+            epochs=args.epochs,
+            nominal_epochs=20,
+            backend=args.backend,
+            dtype=args.dtype,
+        ),
+        evaluator=EvaluatorConfig(backend="simulated", num_workers=args.workers),
+        faults=FaultConfig(
+            on_error=args.on_error,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            timeout=args.timeout,
+            failure_objective=args.failure_objective,
+            crash_prob=args.crash_prob,
+            hang_prob=args.hang_prob,
+            corrupt_prob=args.corrupt_prob,
+            hang_factor=args.hang_factor,
+            fault_seed=args.fault_seed,
+        ),
+        checkpoint=CheckpointConfig(path=args.checkpoint, every=args.checkpoint_every),
+    )
 
 
 def _cmd_datasets(out) -> int:
@@ -138,77 +193,44 @@ def _cmd_datasets(out) -> int:
 
 def _cmd_search(args, out) -> int:
     if args.resume:
-        from repro.core import load_checkpoint
-
+        # Budgets, checkpointing and outputs come from this invocation;
+        # everything else is restored from the embedded campaign config.
         try:
-            saved = load_checkpoint(args.resume).get("extra", {}).get("cli", {})
+            campaign = resume_campaign(
+                args.resume,
+                max_evaluations=args.max_evaluations,
+                wall_time_minutes=args.wall_minutes,
+                checkpoint=CheckpointConfig(
+                    path=args.checkpoint, every=args.checkpoint_every
+                ),
+            )
         except FileNotFoundError:
             raise SystemExit(f"search: checkpoint not found: {args.resume}")
-        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        except ValueError as exc:
             raise SystemExit(f"search: cannot resume from {args.resume}: {exc}")
-        for key in _RESUME_KEYS:
-            if key in saved:
-                setattr(args, key, saved[key])
         print(f"resuming campaign from {args.resume}", file=out)
-    if args.dataset is None:
-        raise SystemExit("search: --dataset is required unless --resume restores it")
-    ds = load_dataset(args.dataset, size=args.size)
-    print(ds.summary(), file=out)
-    space = ArchitectureSpace(num_nodes=args.num_nodes)
-    evaluation = ModelEvaluation(
-        ds, space, epochs=args.epochs, nominal_epochs=20,
-        backend=args.backend, dtype=args.dtype,
-    )
-    run_function = evaluation
-    try:
-        if args.crash_prob or args.hang_prob or args.corrupt_prob:
-            run_function = FaultInjector(
-                evaluation,
-                crash_prob=args.crash_prob,
-                hang_prob=args.hang_prob,
-                corrupt_prob=args.corrupt_prob,
-                hang_factor=args.hang_factor,
-                seed=args.fault_seed,
-            )
-        policy = FaultPolicy(
-            on_error=args.on_error,
-            max_retries=args.max_retries,
-            retry_backoff=args.retry_backoff,
-            timeout=args.timeout,
-            failure_objective=args.failure_objective,
-        )
-    except ValueError as exc:
-        raise SystemExit(f"search: {exc}")
-    if args.resume:
-        from repro.core import AgE, AgEBO
-        from repro.core.variants import variant_hp_space
-
-        if args.method == "AgE":
-            search = AgE.resume(args.resume, space, run_function)
-        else:
-            hp_space = variant_hp_space(args.method)
-            search = AgEBO.resume(args.resume, space, hp_space, run_function)
-        evaluator = search.evaluator
     else:
-        evaluator = SimulatedEvaluator(
-            run_function, num_workers=args.workers, fault_policy=policy
-        )
-        common = dict(
-            population_size=args.population, sample_size=args.sample, seed=args.seed
-        )
-        if args.method == "AgE":
-            search = make_age_variant(space, evaluator, num_ranks=args.num_ranks, **common)
-        else:
-            search = make_agebo_variant(
-                args.method, space, evaluator, kappa=args.kappa, **common
-            )
-    search.checkpoint_metadata = {"cli": {key: getattr(args, key) for key in _RESUME_KEYS}}
-    history = search.search(
-        max_evaluations=args.max_evaluations,
-        wall_time_minutes=args.wall_minutes,
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-    )
+        if args.dataset is None:
+            raise SystemExit("search: --dataset is required unless --resume restores it")
+        try:
+            campaign = build_campaign(config_from_args(args))
+        except ValueError as exc:
+            raise SystemExit(f"search: {exc}")
+    print(campaign.dataset.summary(), file=out)
+
+    event_log = None
+    if args.events:
+        event_log = campaign.subscribe(JsonlEventLog(args.events))
+    if args.progress:
+        campaign.subscribe(ProgressReporter(out=out))
+
+    try:
+        history = campaign.run()
+    finally:
+        if event_log is not None:
+            event_log.close()
+
+    evaluator = campaign.evaluator
     util = utilization_summary(evaluator)
     failures = f", {history.num_failures} penalized" if history.num_failures else ""
     print(
@@ -226,6 +248,8 @@ def _cmd_search(args, out) -> int:
             f"{record.duration:.1f} min",
             file=out,
         )
+    if args.events:
+        print(f"event log written to {args.events}", file=out)
     if args.save_history:
         from repro.core import save_history
 
@@ -236,14 +260,14 @@ def _cmd_search(args, out) -> int:
 
         from repro.analysis import markdown_report
 
-        hp_space = getattr(search, "hp_space", None)
-        Path(args.report).write_text(markdown_report(history, hp_space))
+        Path(args.report).write_text(markdown_report(history, campaign.hp_space))
         print(f"report written to {args.report}", file=out)
     return 0
 
 
 def _cmd_baseline(args, out) -> int:
     from repro.baselines import AutoGluonLike, AutoPyTorchLike
+    from repro.datasets import load_dataset
 
     ds = load_dataset(args.dataset, size=args.size)
     print(ds.summary(), file=out)

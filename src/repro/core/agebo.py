@@ -92,7 +92,19 @@ class AgEBO(AgingEvolutionBase):
             [r.config.hyperparameters for r in results],
             [r.objective for r in results],
         )
-        return self.optimizer.ask(len(results))
+        batch = self.optimizer.ask(len(results))
+        if self.event_bus is not None:
+            from repro.campaign.events import BOTellAsk
+
+            self.event_bus.emit(
+                BOTellAsk(
+                    num_told=len(results),
+                    num_asked=len(batch),
+                    num_observations=self.optimizer.num_observations,
+                    time=self.evaluator.now,
+                )
+            )
+        return batch
 
     # ------------------------------------------------------------------ #
     # Checkpoint / resume

@@ -104,6 +104,9 @@ class ModelEvaluation:
         self.apply_linear_scaling = apply_linear_scaling
         self.backend = backend
         self.dtype = np.dtype(dtype)
+        # Optional campaign event bus, forwarded to the per-call trainer so
+        # EpochEnd events surface on the campaign stream.
+        self.event_bus = None
 
     # ------------------------------------------------------------------ #
     def build_model(self, config: ModelConfig, rng: np.random.Generator) -> GraphNetwork:
@@ -129,6 +132,7 @@ class ModelEvaluation:
             backend=self.backend,
             dtype=self.dtype,
         )
+        trainer.event_bus = self.event_bus
         result = trainer.fit(
             model,
             self.dataset.X_train,

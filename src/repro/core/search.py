@@ -61,11 +61,17 @@ class AgingEvolutionBase:
             raise ValueError("sample_size must be in [1, population_size]")
         if replacement not in ("aging", "elitist"):
             raise ValueError(f"unknown replacement {replacement!r}")
+        if num_workers is None:
+            num_workers = getattr(evaluator, "num_workers", 1)
+        if num_workers < 1:
+            # An explicit 0 must fail loudly, not silently fall back to the
+            # evaluator default.
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.space = space
         self.evaluator = evaluator
         self.population_size = population_size
         self.sample_size = sample_size
-        self.num_workers = num_workers or getattr(evaluator, "num_workers", 1)
+        self.num_workers = num_workers
         self.rng = np.random.default_rng(seed)
         self.mutate_skips = mutate_skips
         self.replacement = replacement
@@ -81,9 +87,13 @@ class AgingEvolutionBase:
         self._initialized = False
         self._iterations = 0
         self._pending_results: list[EvaluationRecord] = []
-        # Free-form dict stored inside checkpoints (the CLI records the
-        # dataset/space arguments here so --resume can rebuild them).
+        # Free-form dict stored inside checkpoints (the campaign layer
+        # records the full CampaignConfig here so --resume can rebuild
+        # everything from it).
         self.checkpoint_metadata: dict[str, Any] = {}
+        # Optional campaign event bus (attached by repro.campaign.builder);
+        # when set, the loop emits PopulationUpdated / CheckpointWritten.
+        self.event_bus = None
 
     # ------------------------------------------------------------------ #
     # Hooks implemented by AgE / AgEBO
@@ -124,6 +134,18 @@ class AgingEvolutionBase:
                 worst = min(range(len(self.population)), key=lambda i: self.population[i].objective)
                 del self.population[worst]
         self.population.append(record)
+        if self.event_bus is not None:
+            from repro.campaign.events import PopulationUpdated
+
+            self.event_bus.emit(
+                PopulationUpdated(
+                    num_evaluations=len(self.history),
+                    population_size=len(self.population),
+                    objective=record.objective,
+                    best_objective=self.history.best().objective,
+                    time=self.evaluator.now,
+                )
+            )
         return record
 
     # ------------------------------------------------------------------ #
@@ -183,6 +205,16 @@ class AgingEvolutionBase:
             self._iterations += 1
             if checkpoint_path is not None and self._iterations % checkpoint_every == 0:
                 self.checkpoint(checkpoint_path)
+                if self.event_bus is not None:
+                    from repro.campaign.events import CheckpointWritten
+
+                    self.event_bus.emit(
+                        CheckpointWritten(
+                            path=str(checkpoint_path),
+                            num_evaluations=len(self.history),
+                            time=self.evaluator.now,
+                        )
+                    )
 
         return self.history
 

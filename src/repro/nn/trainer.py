@@ -84,6 +84,23 @@ class Trainer:
         self.keep_best_weights = keep_best_weights
         self.backend = backend
         self.dtype = None if dtype is None else np.dtype(dtype)
+        # Optional campaign event bus; when set, fit emits one
+        # repro.campaign.events.EpochEnd per epoch.
+        self.event_bus = None
+
+    def _emit_epoch(self, epoch: int, train_loss: float, val_accuracy: float,
+                    num_ranks: int = 1) -> None:
+        if self.event_bus is not None:
+            from repro.campaign.events import EpochEnd
+
+            self.event_bus.emit(
+                EpochEnd(
+                    epoch=epoch,
+                    train_loss=float(train_loss),
+                    val_accuracy=float(val_accuracy),
+                    num_ranks=num_ranks,
+                )
+            )
 
     def fit(
         self,
@@ -135,6 +152,7 @@ class Trainer:
                 result.diverged = True
                 result.epoch_train_losses.append(mean_loss)
                 result.epoch_val_accuracies.append(0.0)
+                self._emit_epoch(epoch, mean_loss, 0.0)
                 break
             val_logits = (
                 plan.predict_logits(X_valid) if plan is not None
@@ -143,6 +161,7 @@ class Trainer:
             val_acc = accuracy(val_logits, y_valid)
             result.epoch_val_accuracies.append(val_acc)
             result.epoch_train_losses.append(mean_loss)
+            self._emit_epoch(epoch, mean_loss, val_acc)
             if val_acc > best_acc:
                 best_acc = val_acc
                 if self.keep_best_weights:

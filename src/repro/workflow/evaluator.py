@@ -56,7 +56,53 @@ def _resolve_policy(
 
 
 class Evaluator:
-    """Abstract manager-worker evaluator."""
+    """Abstract manager-worker evaluator.
+
+    ``event_bus`` is an optional campaign event bus (attached by
+    :func:`repro.campaign.build_campaign`); backends emit job lifecycle
+    events (:class:`~repro.campaign.events.JobSubmitted`, ``JobGathered``,
+    ``JobRetried``, ``WorkerDied``) through it when set.
+    """
+
+    event_bus = None
+
+    def _emit_submitted(self, job: Job) -> None:
+        if self.event_bus is not None:
+            from repro.campaign.events import JobSubmitted
+
+            self.event_bus.emit(JobSubmitted(job_id=job.job_id, time=job.submit_time))
+
+    def _emit_gathered(self, job: Job) -> None:
+        if self.event_bus is not None:
+            from repro.campaign.events import JobGathered
+
+            self.event_bus.emit(
+                JobGathered(
+                    job_id=job.job_id,
+                    time=self.now,
+                    objective=job.result.objective,
+                    duration=job.result.duration,
+                    submit_time=job.submit_time,
+                    start_time=job.start_time,
+                    end_time=job.end_time,
+                    worker=job.worker,
+                    failed=job.state is JobState.FAILED,
+                    retries=job.retries,
+                )
+            )
+
+    def _emit_retried(self, job: Job) -> None:
+        if self.event_bus is not None:
+            from repro.campaign.events import JobRetried
+
+            self.event_bus.emit(
+                JobRetried(
+                    job_id=job.job_id,
+                    time=self.now,
+                    retries=job.retries,
+                    error=job.error,
+                )
+            )
 
     def submit(self, configs: Sequence[Any]) -> list[Job]:
         """Queue configurations for evaluation; returns the job records."""
@@ -195,6 +241,7 @@ class SimulatedEvaluator(Evaluator):
             self._next_id += 1
             self.jobs.append(job)
             self._in_flight += 1
+            self._emit_submitted(job)
             if self._free_workers:
                 self._start(job)
             else:
@@ -267,6 +314,10 @@ class SimulatedEvaluator(Evaluator):
             return
         self._dead_workers.add(worker)
         self.num_worker_failures += 1
+        if self.event_bus is not None:
+            from repro.campaign.events import WorkerDied
+
+            self.event_bus.emit(WorkerDied(worker=worker, time=self._clock))
         if worker in self._free_workers:
             self._free_workers.remove(worker)
         job = self._running.pop(worker, None)
@@ -307,6 +358,7 @@ class SimulatedEvaluator(Evaluator):
                     self.num_retries += 1
                     job.state = JobState.RETRYING
                     job.worker = -1
+                    self._emit_retried(job)
                     delay = self.fault_policy.backoff_minutes(job.retries)
                     if delay > 0:
                         self._events.push(self._clock + delay, ("retry", job, job.attempt))
@@ -317,6 +369,8 @@ class SimulatedEvaluator(Evaluator):
             # Start queued jobs on the workers that just freed.
             self._fill_workers()
             if finished:
+                for job in finished:
+                    self._emit_gathered(job)
                 return finished
         if self._in_flight:
             raise RuntimeError(
@@ -480,6 +534,7 @@ class ThreadedEvaluator(Evaluator):
                 job = Job(job_id=self._next_id, config=config, submit_time=self.now)
                 self._next_id += 1
                 self.jobs.append(job)
+            self._emit_submitted(job)
             self._dispatch(job)
             out.append(job)
         return out
@@ -519,6 +574,7 @@ class ThreadedEvaluator(Evaluator):
             job.retries += 1
             self.num_retries += 1
             job.state = JobState.RETRYING
+            self._emit_retried(job)
             self._dispatch(job)
         else:
             job.result = policy.failure_result(error)
@@ -540,6 +596,8 @@ class ThreadedEvaluator(Evaluator):
                 self._completed.clear()
                 pending = dict(self._futures)
             if not pending:
+                for job in finished:
+                    self._emit_gathered(job)
                 return finished
             wait_timeout: float | None = None
             if policy.timeout is not None:
@@ -597,6 +655,8 @@ class ThreadedEvaluator(Evaluator):
                     self._completed.extend(finished)
                 raise first_error
             if finished:
+                for job in finished:
+                    self._emit_gathered(job)
                 return finished
 
     def shutdown(self) -> None:

@@ -163,6 +163,14 @@ class FaultInjector:
         self.num_crashes = 0
         self.num_hangs = 0
         self.num_corruptions = 0
+        # Optional campaign event bus (attached by repro.campaign.builder).
+        self.event_bus = None
+
+    def _emit(self, kind: str) -> None:
+        if self.event_bus is not None:
+            from repro.campaign.events import FaultInjected
+
+            self.event_bus.emit(FaultInjected(kind=kind, call_index=self.num_calls))
 
     # ------------------------------------------------------------------ #
     def __call__(self, config: Any) -> EvaluationResult:
@@ -170,10 +178,12 @@ class FaultInjector:
         draw = self._rng.random()
         if draw < self.crash_prob:
             self.num_crashes += 1
+            self._emit("crash")
             raise InjectedCrash(f"injected crash on call {self.num_calls}")
         result = self.run_function(config)
         if draw < self.crash_prob + self.hang_prob:
             self.num_hangs += 1
+            self._emit("hang")
             return EvaluationResult(
                 objective=result.objective,
                 duration=result.duration * self.hang_factor,
@@ -181,6 +191,7 @@ class FaultInjector:
             )
         if draw < self.crash_prob + self.hang_prob + self.corrupt_prob:
             self.num_corruptions += 1
+            self._emit("corrupt")
             return EvaluationResult(
                 objective=float("nan"),
                 duration=result.duration,

@@ -1,0 +1,511 @@
+"""The campaign layer: typed config tree, builder/registries, event bus.
+
+Covers the PR's acceptance criteria:
+
+- ``CampaignConfig.from_dict(cfg.to_dict()) == cfg`` for randomized
+  configs (property-style, via hypothesis);
+- a campaign built by :func:`build_campaign` produces a *bit-identical*
+  ``SearchHistory`` to hand-wiring the raw classes with the same seeds;
+- replaying the JSONL event log reproduces the utilization / retry
+  accounting of :func:`repro.analysis.utilization_summary`;
+- ``--resume`` works from a checkpoint that embeds the campaign config
+  (kill-and-resume continues bit-identically), and the pre-refactor
+  checkpoint layout is rejected with a clear versioned error;
+- explicit ``num_workers=0`` raises instead of silently falling back to
+  the evaluator default.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import utilization_summary
+from repro.campaign import (
+    EVALUATORS,
+    EVENT_TYPES,
+    SEARCH_METHODS,
+    SURROGATES,
+    CampaignConfig,
+    CampaignStarted,
+    CheckpointConfig,
+    EvaluatorConfig,
+    EventBus,
+    FaultConfig,
+    JobGathered,
+    JsonlEventLog,
+    MetricsAggregator,
+    PopulationUpdated,
+    SearchConfig,
+    TrainingConfig,
+    build_campaign,
+    load_events,
+    replay_metrics,
+    resume_campaign,
+)
+from repro.campaign.registry import Registry, SearchMethod
+from repro.core.evaluation import ModelEvaluation
+from repro.core.serialization import history_to_dict, save_checkpoint
+from repro.core.variants import make_agebo_variant
+from repro.datasets import load_dataset
+from repro.searchspace import ArchitectureSpace
+from repro.workflow import FaultPolicy, SimulatedEvaluator
+
+
+def tiny_config(**overrides) -> CampaignConfig:
+    """A campaign small enough for the suite (1 real epoch, 300 rows)."""
+    base = dict(
+        dataset="covertype",
+        size=300,
+        num_nodes=2,
+        max_evaluations=8,
+        search=SearchConfig(
+            method="AgEBO", population_size=4, sample_size=2, seed=3,
+            n_initial_points=3,
+        ),
+        training=TrainingConfig(epochs=1, nominal_epochs=20),
+        evaluator=EvaluatorConfig(backend="simulated", num_workers=3),
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+# --------------------------------------------------------------------- #
+# Config tree: validation + lossless round-trip
+# --------------------------------------------------------------------- #
+search_configs = st.builds(
+    SearchConfig,
+    method=st.sampled_from(("AgE", "AgEBO", "AgEBO-8-LR", "AgEBO-8-LR-BS")),
+    population_size=st.integers(2, 200),
+    sample_size=st.just(2),
+    seed=st.integers(0, 2**31 - 1),
+    mutate_skips=st.booleans(),
+    replacement=st.sampled_from(("aging", "elitist")),
+    num_ranks=st.integers(1, 8),
+    kappa=st.floats(0.0, 20.0, allow_nan=False),
+    n_initial_points=st.integers(1, 50),
+    lie_strategy=st.sampled_from(("mean", "min", "max")),
+    surrogate=st.sampled_from(("forest", "knn", "random")),
+)
+training_configs = st.builds(
+    TrainingConfig,
+    epochs=st.integers(1, 50),
+    nominal_epochs=st.one_of(st.none(), st.integers(1, 50)),
+    warmup_epochs=st.integers(0, 10),
+    plateau_patience=st.integers(1, 10),
+    objective=st.sampled_from(("best", "final")),
+    allreduce=st.sampled_from(("ring", "mean", "fused")),
+    backend=st.sampled_from(("compiled", "eager")),
+    dtype=st.sampled_from(("float32", "float64")),
+    apply_linear_scaling=st.booleans(),
+    base_seed=st.integers(0, 1000),
+)
+fault_configs = st.builds(
+    FaultConfig,
+    on_error=st.sampled_from(("raise", "penalize", "retry")),
+    max_retries=st.integers(0, 5),
+    retry_backoff=st.floats(0.0, 10.0, allow_nan=False),
+    timeout=st.one_of(st.none(), st.floats(1.0, 500.0, allow_nan=False)),
+    crash_prob=st.floats(0.0, 0.3),
+    hang_prob=st.floats(0.0, 0.3),
+    corrupt_prob=st.floats(0.0, 0.3),
+    hang_factor=st.floats(1.0, 50.0, allow_nan=False),
+    fault_seed=st.integers(0, 1000),
+)
+campaign_configs = st.builds(
+    CampaignConfig,
+    dataset=st.sampled_from(("covertype", "airlines", "albert")),
+    size=st.integers(100, 10_000),
+    num_nodes=st.integers(1, 10),
+    max_evaluations=st.integers(1, 500),
+    wall_time_minutes=st.one_of(st.none(), st.floats(1.0, 1e4, allow_nan=False)),
+    search=search_configs,
+    training=training_configs,
+    evaluator=st.builds(
+        EvaluatorConfig,
+        backend=st.sampled_from(("simulated", "threaded")),
+        num_workers=st.integers(1, 64),
+        measure_wall_time=st.booleans(),
+    ),
+    faults=fault_configs,
+    checkpoint=st.builds(
+        CheckpointConfig,
+        path=st.one_of(st.none(), st.just("camp.ckpt")),
+        every=st.integers(1, 10),
+    ),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(config=campaign_configs)
+def test_config_round_trip_is_lossless(config):
+    data = config.to_dict()
+    assert json.loads(json.dumps(data)) == data  # JSON-safe
+    assert CampaignConfig.from_dict(data) == config
+
+
+def test_config_round_trip_default():
+    config = CampaignConfig()
+    assert CampaignConfig.from_dict(config.to_dict()) == config
+
+
+def test_from_dict_rejects_missing_and_wrong_version():
+    data = CampaignConfig().to_dict()
+    del data["config_version"]
+    with pytest.raises(ValueError, match="version"):
+        CampaignConfig.from_dict(data)
+    data["config_version"] = 99
+    with pytest.raises(ValueError, match="version 99"):
+        CampaignConfig.from_dict(data)
+
+
+def test_from_dict_rejects_unknown_keys_at_both_levels():
+    data = CampaignConfig().to_dict()
+    data["datasett"] = "covertype"
+    with pytest.raises(ValueError, match="datasett"):
+        CampaignConfig.from_dict(data)
+    data = CampaignConfig().to_dict()
+    data["search"]["poplation_size"] = 10
+    with pytest.raises(ValueError, match="poplation_size"):
+        CampaignConfig.from_dict(data)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: CampaignConfig(size=0),
+        lambda: CampaignConfig(max_evaluations=None, wall_time_minutes=None),
+        lambda: SearchConfig(population_size=1),
+        lambda: SearchConfig(replacement="oldest"),
+        lambda: TrainingConfig(dtype="float16"),
+        lambda: EvaluatorConfig(num_workers=0),
+        lambda: FaultConfig(crash_prob=1.5),
+        lambda: FaultConfig(on_error="ignore"),
+        lambda: CheckpointConfig(every=0),
+        lambda: CampaignConfig(search="AgEBO"),  # sub-config must be typed
+    ],
+)
+def test_invalid_configs_fail_at_definition_time(make):
+    with pytest.raises((ValueError, TypeError)):
+        make()
+
+
+def test_replace_returns_modified_copy():
+    config = tiny_config()
+    extended = config.replace(max_evaluations=99)
+    assert extended.max_evaluations == 99
+    assert config.max_evaluations == 8
+    assert extended.search == config.search
+
+
+# --------------------------------------------------------------------- #
+# Satellite: explicit num_workers=0 must raise, not fall back
+# --------------------------------------------------------------------- #
+def test_search_rejects_explicit_zero_workers():
+    from repro.core import AgE
+
+    space = ArchitectureSpace(num_nodes=2)
+    ev = SimulatedEvaluator(lambda c: None, num_workers=4)
+    with pytest.raises(ValueError, match="num_workers"):
+        AgE(space, ev, hyperparameters={"batch_size": 64, "learning_rate": 0.01,
+                                        "num_ranks": 1},
+            population_size=4, sample_size=2, num_workers=0)
+    # None still means "ask the evaluator".
+    search = AgE(space, ev, hyperparameters={"batch_size": 64,
+                                             "learning_rate": 0.01,
+                                             "num_ranks": 1},
+                 population_size=4, sample_size=2, num_workers=None)
+    assert search.num_workers == 4
+
+
+# --------------------------------------------------------------------- #
+# Builder: bit-identical to hand-wiring the raw classes
+# --------------------------------------------------------------------- #
+def test_build_campaign_matches_legacy_wiring():
+    config = tiny_config()
+    history = build_campaign(config).run()
+
+    dataset = load_dataset("covertype", size=300)
+    space = ArchitectureSpace(num_nodes=2)
+    evaluation = ModelEvaluation(dataset, space, epochs=1, nominal_epochs=20)
+    evaluator = SimulatedEvaluator(
+        evaluation, num_workers=3,
+        fault_policy=FaultPolicy(on_error="penalize", max_retries=2),
+    )
+    legacy = make_agebo_variant(
+        "AgEBO", space, evaluator,
+        population_size=4, sample_size=2, seed=3, n_initial_points=3,
+    ).search(max_evaluations=8)
+
+    assert history_to_dict(history) == history_to_dict(legacy)
+
+
+def test_build_campaign_rejects_unknown_names():
+    with pytest.raises(ValueError, match="dataset"):
+        build_campaign(tiny_config(dataset="imagenet"))
+    with pytest.raises(ValueError, match="search method"):
+        build_campaign(tiny_config(search=SearchConfig(method="RandomSearch")))
+    with pytest.raises(ValueError, match="evaluator backend"):
+        build_campaign(
+            tiny_config(evaluator=EvaluatorConfig(backend="slurm"))
+        )
+
+
+def test_campaign_wires_fault_injector_only_when_configured():
+    campaign = build_campaign(tiny_config())
+    assert campaign.fault_injector is None
+    campaign = build_campaign(
+        tiny_config(faults=FaultConfig(on_error="retry", crash_prob=0.2))
+    )
+    assert campaign.fault_injector is not None
+    assert campaign.fault_injector.event_bus is campaign.event_bus
+
+
+# --------------------------------------------------------------------- #
+# Event bus + metrics replay
+# --------------------------------------------------------------------- #
+def test_event_bus_filters_and_unsubscribes():
+    bus = EventBus()
+    seen_all, seen_pop = [], []
+    handle = bus.subscribe(lambda e: seen_all.append(e))
+    bus.subscribe(seen_pop.append, PopulationUpdated)
+    started = CampaignStarted(method="AgEBO", dataset="covertype", num_workers=2)
+    updated = PopulationUpdated(num_evaluations=1, population_size=1,
+                                objective=0.5, best_objective=0.5, time=1.0)
+    bus.emit(started)
+    bus.emit(updated)
+    assert seen_all == [started, updated]
+    assert seen_pop == [updated]
+    bus.unsubscribe(handle)
+    bus.emit(started)
+    assert seen_all == [started, updated]  # unsubscribed: no new delivery
+    assert seen_pop == [updated]
+    with pytest.raises(TypeError):
+        bus.emit("not an event")
+
+
+def test_event_round_trip_through_jsonl(tmp_path):
+    path = tmp_path / "events.jsonl"
+    events = [
+        CampaignStarted(method="AgEBO", dataset="covertype", num_workers=4,
+                        max_evaluations=10),
+        JobGathered(job_id=0, time=5.0, objective=0.7, duration=4.0,
+                    submit_time=0.0, start_time=1.0, end_time=5.0, worker=2,
+                    failed=False, retries=0),
+    ]
+    with JsonlEventLog(path) as log:
+        for event in events:
+            log(event)
+    assert load_events(path) == events
+
+
+def test_campaign_event_stream_reproduces_utilization(tmp_path):
+    """Replaying the JSONL log == utilization_summary on the evaluator."""
+    path = tmp_path / "events.jsonl"
+    campaign = build_campaign(tiny_config())
+    log = campaign.subscribe(JsonlEventLog(path))
+    live = campaign.subscribe(MetricsAggregator())
+    campaign.run()
+    log.close()
+
+    replayed = replay_metrics(path)
+    reference = utilization_summary(campaign.evaluator)
+    for metrics in (live, replayed):
+        assert metrics.num_workers == reference.num_workers
+        assert metrics.elapsed_minutes == pytest.approx(reference.elapsed_minutes)
+        assert metrics.busy_worker_minutes == pytest.approx(
+            reference.busy_worker_minutes
+        )
+        assert metrics.utilization == pytest.approx(reference.utilization)
+        assert metrics.num_jobs_done == reference.num_jobs_done
+        assert metrics.mean_queue_delay == pytest.approx(reference.mean_queue_delay)
+    assert replayed.summary() == live.summary()
+
+
+def test_event_stream_reports_retries_under_faults(tmp_path):
+    path = tmp_path / "events.jsonl"
+    campaign = build_campaign(
+        tiny_config(
+            faults=FaultConfig(on_error="retry", max_retries=2,
+                               timeout=120.0, crash_prob=0.3, fault_seed=5),
+        )
+    )
+    log = campaign.subscribe(JsonlEventLog(path))
+    campaign.run()
+    log.close()
+    metrics = replay_metrics(path)
+    assert metrics.num_faults_injected > 0
+    assert metrics.num_retries > 0
+    assert metrics.counts["CampaignStarted"] == 1
+    assert metrics.counts["CampaignFinished"] == 1
+    assert metrics.counts["EpochEnd"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint / resume through the campaign layer
+# --------------------------------------------------------------------- #
+def test_kill_and_resume_is_bit_identical(tmp_path):
+    """A campaign killed at N evals and resumed matches the straight run."""
+    path = tmp_path / "camp.ckpt"
+    full = build_campaign(tiny_config(max_evaluations=16)).run()
+
+    interrupted = build_campaign(
+        tiny_config(
+            max_evaluations=8,
+            checkpoint=CheckpointConfig(path=str(path), every=1),
+        )
+    )
+    interrupted.run()
+
+    resumed = resume_campaign(path, max_evaluations=16)
+    assert resumed.config.search == interrupted.config.search
+    assert resumed.config.training == interrupted.config.training
+    history = resumed.run()
+    assert history_to_dict(history) == history_to_dict(full)
+
+
+def test_resume_overrides_only_named_fields(tmp_path):
+    path = tmp_path / "camp.ckpt"
+    build_campaign(
+        tiny_config(checkpoint=CheckpointConfig(path=str(path), every=1))
+    ).run()
+    resumed = resume_campaign(path, max_evaluations=12,
+                              checkpoint=CheckpointConfig(path=None))
+    assert resumed.config.max_evaluations == 12
+    assert resumed.config.checkpoint.path is None
+    assert resumed.config.size == 300  # restored, not re-specified
+
+
+def test_resume_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        resume_campaign(tmp_path / "nope.ckpt")
+
+
+def test_resume_rejects_pre_campaign_checkpoint_layout(tmp_path):
+    """The legacy extra['cli'] pinned-key layout gets a clear error."""
+    campaign = build_campaign(tiny_config())
+    campaign.run()
+    path = tmp_path / "old.ckpt"
+    save_checkpoint(campaign.search, path,
+                    extra={"cli": {"dataset": "covertype", "epochs": 1}})
+    with pytest.raises(ValueError, match="pre-campaign"):
+        resume_campaign(path)
+    # And a checkpoint with no campaign metadata at all:
+    save_checkpoint(campaign.search, path, extra={})
+    with pytest.raises(ValueError, match="campaign config"):
+        resume_campaign(path)
+
+
+def test_checkpoint_embeds_versioned_campaign_config(tmp_path):
+    path = tmp_path / "camp.ckpt"
+    config = tiny_config(checkpoint=CheckpointConfig(path=str(path), every=1))
+    build_campaign(config).run()
+    data = json.loads(path.read_text())
+    embedded = data["extra"]["campaign"]
+    assert embedded["config_version"] == 1
+    assert CampaignConfig.from_dict(embedded) == config
+
+
+# --------------------------------------------------------------------- #
+# Registries
+# --------------------------------------------------------------------- #
+def test_registry_register_get_and_errors():
+    reg = Registry("thing")
+    reg.register("a", 1)
+    assert reg.get("a") == 1
+    assert "a" in reg and len(reg) == 1 and list(reg) == ["a"]
+    with pytest.raises(ValueError, match="already registered"):
+        reg.register("a", 2)
+    with pytest.raises(ValueError, match="unknown thing"):
+        reg.get("b")
+
+    @reg.register("decorated")
+    def factory():
+        return 42
+
+    assert reg.get("decorated") is factory
+
+
+def test_builtin_registries_are_populated():
+    assert set(EVALUATORS.names()) >= {"simulated", "threaded"}
+    assert set(SURROGATES.names()) >= {"forest", "knn", "random"}
+    assert set(SEARCH_METHODS.names()) >= {"AgE", "AgEBO", "AgEBO-8-LR",
+                                           "AgEBO-8-LR-BS"}
+    assert not SEARCH_METHODS.get("AgE").uses_bo
+    assert SEARCH_METHODS.get("AgEBO").uses_bo
+
+
+def test_custom_search_method_runs_through_builder():
+    """A user-registered method is a first-class campaign citizen."""
+    from repro.core.search import AgingEvolutionBase
+
+    def build(config, space, hp_space, evaluator):
+        from repro.core import AgE
+
+        return AgE(space, evaluator,
+                   hyperparameters={"batch_size": 32, "learning_rate": 0.02,
+                                    "num_ranks": 1},
+                   population_size=config.search.population_size,
+                   sample_size=config.search.sample_size,
+                   seed=config.search.seed, label="custom")
+
+    name = "test-custom-age"
+    if name not in SEARCH_METHODS:
+        SEARCH_METHODS.register(
+            name, SearchMethod(name, build=build, resume=None, uses_bo=False)
+        )
+    campaign = build_campaign(
+        tiny_config(max_evaluations=4,
+                    search=SearchConfig(method=name, population_size=4,
+                                        sample_size=2, seed=0))
+    )
+    assert isinstance(campaign.search, AgingEvolutionBase)
+    assert campaign.hp_space is None
+    history = campaign.run()
+    assert len(history) == 4
+    assert history.label == "custom"
+
+
+def test_custom_surrogate_reaches_the_optimizer():
+    import numpy as np
+
+    from repro.bo import BayesianOptimizer
+    from repro.searchspace.hpspace import default_dataparallel_space
+
+    class MeanSurrogate:
+        def fit(self, X, y, rng):
+            self._mu = float(np.mean(y))
+            return self
+
+        def predict(self, X):
+            n = len(X)
+            return np.full(n, self._mu), np.ones(n)
+
+    if "test-mean" not in SURROGATES:
+        SURROGATES.register("test-mean", MeanSurrogate)
+    space = default_dataparallel_space(max_ranks=4)
+    opt = BayesianOptimizer(space, surrogate="test-mean", n_initial_points=2)
+    opt.tell([space.sample(np.random.default_rng(0)) for _ in range(3)],
+             [0.1, 0.2, 0.3])
+    assert len(opt.ask(2)) == 2
+    with pytest.raises(ValueError, match="unknown surrogate"):
+        BayesianOptimizer(space, surrogate="gp")
+
+
+# --------------------------------------------------------------------- #
+# Event-schema lint (tools/check_events.py)
+# --------------------------------------------------------------------- #
+def test_event_schema_lint_passes(capsys):
+    import importlib.util
+    from pathlib import Path
+
+    tools = Path(__file__).resolve().parent.parent / "tools" / "check_events.py"
+    spec = importlib.util.spec_from_file_location("check_events", tools)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.main([]) == 0
+    out = capsys.readouterr().out
+    assert f"{len(EVENT_TYPES)} catalogued event types" in out
