@@ -153,12 +153,19 @@ class BOTellAsk(CampaignEvent):
 
 @dataclass(frozen=True)
 class EpochEnd(CampaignEvent):
-    """One training epoch finished inside an evaluation."""
+    """One training epoch finished inside an evaluation.
+
+    ``ring_bytes_per_rank`` is the simulated ring-allreduce payload each
+    rank shipped during the epoch's training steps (0 when the reduction
+    is not a ring or runs single-rank), from
+    :func:`repro.dataparallel.allreduce.ring_transfer_stats`.
+    """
 
     epoch: int
     train_loss: float
     val_accuracy: float
     num_ranks: int = 1
+    ring_bytes_per_rank: int = 0
 
 
 @dataclass(frozen=True)
@@ -341,6 +348,7 @@ class MetricsAggregator:
         self.queue_delays: list[float] = []
         self.gather_latencies: list[float] = []
         self.best_objective = float("-inf")
+        self.ring_comm_bytes = 0
 
     def __call__(self, event: CampaignEvent) -> None:
         self.counts[event.name] = self.counts.get(event.name, 0) + 1
@@ -364,6 +372,10 @@ class MetricsAggregator:
             self.num_worker_deaths += 1
         elif isinstance(event, FaultInjected):
             self.num_faults_injected += 1
+        elif isinstance(event, EpochEnd):
+            # Simulated communication volume: every rank ships its ring
+            # payload once per epoch's reduction schedule.
+            self.ring_comm_bytes += event.ring_bytes_per_rank * event.num_ranks
 
     # ------------------------------------------------------------------ #
     @property
@@ -395,6 +407,7 @@ class MetricsAggregator:
             "mean_queue_delay": self.mean_queue_delay,
             "mean_gather_latency": self.mean_gather_latency,
             "best_objective": self.best_objective,
+            "ring_comm_bytes": self.ring_comm_bytes,
             "event_counts": dict(self.counts),
         }
 

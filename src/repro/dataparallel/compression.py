@@ -12,15 +12,33 @@ The compressed exchange is modeled as an allgather of sparse
 (index, value) pairs; :func:`compressed_transfer_bytes` feeds the cost
 model with the reduced traffic so the multi-node scaling benefit can be
 quantified against the dense ring.
+
+Two implementations coexist, mirroring the allreduce module:
+:class:`TopKCompressor` is the per-rank, per-tensor-list reference, while
+:class:`FlatTopKCompressor` carries all ranks' state in one ``(n, P)``
+flat matrix — error feedback is two whole-matrix kernels and top-k
+selection one rank-batched ``argpartition`` per tensor segment — with
+:func:`compressed_allreduce_mean_flat` reducing every rank's sparse
+payload in one scatter-add per segment.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["TopKCompressor", "compressed_allreduce_mean", "compressed_transfer_bytes"]
+__all__ = [
+    "FlatTopKCompressor",
+    "TopKCompressor",
+    "compressed_allreduce_mean",
+    "compressed_allreduce_mean_flat",
+    "compressed_transfer_bytes",
+]
 
 GradientList = list[np.ndarray]
+
+#: (offset, size, shape) per tensor of a flattened gradient list — the
+#: layout produced by :func:`repro.dataparallel.allreduce.gradient_segments`.
+Segments = list[tuple[int, int, tuple[int, ...]]]
 
 _INDEX_BYTES = 4
 _VALUE_BYTES = 4
@@ -68,6 +86,106 @@ class TopKCompressor:
             residual.ravel()[idx] = 0.0
             out.append((idx.astype(np.int64), values, corrected.shape))
         return out
+
+
+class FlatTopKCompressor:
+    """Rank-batched top-k sparsifier over an ``(n, P)`` flat gradient matrix.
+
+    Selection semantics are identical to ``n`` independent
+    :class:`TopKCompressor` instances applied to the unflattened per-tensor
+    lists (``k`` is chosen per tensor segment), but the state lives in one
+    preallocated residual matrix: the error-feedback correction and reset
+    are whole-matrix kernels, and each segment's top-k runs as a single
+    ``argpartition`` over all ranks at once.
+
+    Parameters
+    ----------
+    ratio:
+        Fraction of entries kept per tensor segment.
+    segments:
+        Flat-buffer layout, one ``(offset, size, shape)`` per tensor.
+    num_ranks:
+        Number of rank rows the compressor carries residuals for.
+    """
+
+    def __init__(self, ratio: float, segments: Segments, num_ranks: int) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if not segments:
+            raise ValueError("need at least one tensor segment")
+        self.ratio = ratio
+        self.segments = list(segments)
+        self.num_ranks = num_ranks
+        self.num_params = segments[-1][0] + segments[-1][1]
+        self._residual = np.zeros((num_ranks, self.num_params))
+        self._corrected = np.empty_like(self._residual)
+
+    def reset(self) -> None:
+        self._residual[...] = 0.0
+
+    def compress(self, flat: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-segment ``(indices, values)`` of every rank's kept entries.
+
+        ``flat`` is the ``(n, P)`` per-rank gradient matrix; the returned
+        indices/values are ``(n, k_t)`` arrays per tensor segment ``t``
+        (indices are segment-local).  Dropped mass accumulates in the
+        residual matrix and is re-injected on the next call.
+        """
+        if flat.shape != self._residual.shape:
+            raise ValueError(
+                f"expected shape {self._residual.shape}, got {flat.shape}"
+            )
+        corrected = self._corrected
+        np.add(flat, self._residual, out=corrected)
+        np.copyto(self._residual, corrected)
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        for offset, size, _ in self.segments:
+            seg = corrected[:, offset : offset + size]
+            k = max(1, int(round(self.ratio * size)))
+            if k >= size:
+                idx = np.tile(np.arange(size, dtype=np.int64), (self.num_ranks, 1))
+            else:
+                idx = np.argpartition(np.abs(seg), size - k, axis=1)[:, size - k :]
+                idx = idx.astype(np.int64, copy=False)
+            values = np.take_along_axis(seg, idx, axis=1).copy()
+            # Error feedback: shipped entries leave the residual.
+            np.put_along_axis(
+                self._residual[:, offset : offset + size], idx, 0.0, axis=1
+            )
+            out.append((idx, values))
+        return out
+
+
+def compressed_allreduce_mean_flat(
+    compressed: list[tuple[np.ndarray, np.ndarray]],
+    segments: Segments,
+    num_ranks: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Mean of rank-batched sparse gradients, densified into a flat vector.
+
+    One scatter-add per tensor segment folds every rank's (index, value)
+    pairs into the ``(P,)`` accumulator at once.
+    """
+    if num_ranks < 1:
+        raise ValueError("need at least one rank")
+    if len(compressed) != len(segments):
+        raise ValueError(
+            f"got {len(compressed)} compressed segments for {len(segments)} tensors"
+        )
+    total = segments[-1][0] + segments[-1][1] if segments else 0
+    if out is None:
+        out = np.zeros(total)
+    else:
+        if out.shape != (total,):
+            raise ValueError(f"out has shape {out.shape}, expected {(total,)}")
+        out[...] = 0.0
+    for (offset, _, _), (idx, values) in zip(segments, compressed):
+        np.add.at(out, (idx + offset).ravel(), values.ravel())
+    out /= num_ranks
+    return out
 
 
 def compressed_allreduce_mean(

@@ -9,6 +9,25 @@ real processes — so the accuracy behaviour as a function of ``(n, lr, bs)``
 (including large-effective-batch degradation) emerges for real rather than
 being modelled.
 
+Two execution strategies produce that algebra:
+
+- ``rank_mode="batched"`` (default, compiled backend): the ``n``
+  micro-batches are stacked into one ``(n·bs, d)`` array and a single
+  fused forward/backward recovers *per-rank* gradients directly into an
+  allreduce-ready ``(n, P)`` flat matrix
+  (:meth:`~repro.nn.compiled.CompiledPlan.loss_and_grads_ranked`); the
+  ring/mean reduction then runs as one vectorized flat-buffer kernel and
+  the reduced mean lands in the plan's double-buffered gradient views —
+  one numpy dispatch chain per step, no per-rank Python loop, no
+  defensive gradient copies.
+- ``rank_mode="loop"`` — the reference: ``n`` separate forward/backward
+  passes and the chunked-list allreduce.  The eager backend always uses
+  it, as do degenerate shards (shorter than one micro-batch) and the
+  ``fused`` allreduce (which needs no per-rank gradients at all).
+
+Both modes agree to float round-off; the equivalence gate lives in
+``tests/test_rank_vectorized.py``.
+
 A ``fused`` fast path computes the same averaged gradient in one
 forward/backward over the concatenated global batch; tests assert the two
 paths agree to float tolerance.
@@ -18,7 +37,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dataparallel.allreduce import allreduce_mean, ring_allreduce
+from repro.dataparallel.allreduce import (
+    RingReducer,
+    allreduce_mean,
+    allreduce_mean_flat,
+    ring_allreduce_reference,
+    ring_transfer_stats,
+)
 from repro.dataparallel.scaling import linear_scaled_lr
 from repro.dataparallel.sharding import shard_indices
 from repro.nn.graph_network import GraphNetwork
@@ -42,9 +67,17 @@ class DataParallelTrainer:
         *Per-rank* micro-batch size ``bs_1`` and *base* learning rate
         ``lr_1``; the trainer applies the linear scaling rule internally.
     allreduce:
-        ``"ring"`` runs the explicit simulated ring (default),
-        ``"mean"`` the reference naive average, ``"fused"`` the
-        concatenated-batch fast path.
+        ``"ring"`` runs the simulated ring (default), ``"mean"`` the
+        reference naive average, ``"fused"`` the concatenated-batch fast
+        path.
+    rank_mode:
+        ``"batched"`` (default) vectorizes the rank dimension — one fused
+        multi-rank forward/backward plus a flat-buffer reduction per step;
+        ``"loop"`` runs the reference per-rank Python loop.  The choice
+        never changes the numbers (both gated equivalent), only the speed;
+        batched silently degrades to the loop where it does not apply
+        (eager backend, ``fused`` allreduce, ``n = 1``, or shards shorter
+        than one micro-batch).
     backend:
         ``"compiled"`` (default) computes per-rank gradients through the
         model's :class:`~repro.nn.compiled.CompiledPlan`; ``"eager"``
@@ -67,13 +100,18 @@ class DataParallelTrainer:
         keep_best_weights: bool = False,
         backend: str = "compiled",
         dtype=None,
+        rank_mode: str = "batched",
     ) -> None:
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
+        if epochs < 0:
+            raise ValueError("epochs must be >= 0")
         if allreduce not in ("ring", "mean", "fused"):
             raise ValueError(f"unknown allreduce mode {allreduce!r}")
         if backend not in ("compiled", "eager"):
             raise ValueError(f"backend must be 'compiled' or 'eager', got {backend!r}")
+        if rank_mode not in ("batched", "loop"):
+            raise ValueError(f"rank_mode must be 'batched' or 'loop', got {rank_mode!r}")
         self.num_ranks = num_ranks
         self.epochs = epochs
         self.batch_size = batch_size
@@ -85,11 +123,18 @@ class DataParallelTrainer:
         self.keep_best_weights = keep_best_weights
         self.backend = backend
         self.dtype = None if dtype is None else np.dtype(dtype)
+        self.rank_mode = rank_mode
         # Optional campaign event bus; when set, fit emits one
         # repro.campaign.events.EpochEnd per epoch.
         self.event_bus = None
 
-    def _emit_epoch(self, epoch: int, train_loss: float, val_accuracy: float) -> None:
+    def _emit_epoch(
+        self,
+        epoch: int,
+        train_loss: float,
+        val_accuracy: float,
+        ring_bytes_per_rank: int = 0,
+    ) -> None:
         if self.event_bus is not None:
             from repro.campaign.events import EpochEnd
 
@@ -99,6 +144,7 @@ class DataParallelTrainer:
                     train_loss=float(train_loss),
                     val_accuracy=float(val_accuracy),
                     num_ranks=self.num_ranks,
+                    ring_bytes_per_rank=int(ring_bytes_per_rank),
                 )
             )
 
@@ -152,7 +198,19 @@ class DataParallelTrainer:
         X_valid = np.ascontiguousarray(X_valid, dtype=dtype)
         plan = model.compile() if self.backend == "compiled" else None
         shards = shard_indices(X_train.shape[0], n, rng)
-        steps = max(1, min(len(s) for s in shards) // self.batch_size)
+        min_shard = min(len(s) for s in shards)
+        steps = max(1, min_shard // self.batch_size)
+        # Index hoisting only works when every rank draws full micro-batches;
+        # degenerate shards (shorter than batch_size) keep the reference
+        # per-step slicing on the raw shard orders.
+        hoistable = min_shard >= self.batch_size
+        batched = (
+            self.rank_mode == "batched"
+            and plan is not None
+            and n > 1
+            and self.allreduce in ("ring", "mean")
+            and hoistable
+        )
 
         scaled_lr = (
             linear_scaled_lr(self.learning_rate, n)
@@ -163,17 +221,60 @@ class DataParallelTrainer:
         warmup = GradualWarmup(optimizer, scaled_lr, self.warmup_epochs)
         plateau = ReduceLROnPlateau(optimizer, patience=self.plateau_patience)
 
+        if self.allreduce == "ring" and n > 1:
+            ring_bytes = ring_transfer_stats(
+                n, model.num_parameters() * dtype.itemsize
+            ).bytes_sent_per_rank
+        else:
+            ring_bytes = 0
+
+        if batched:
+            # Preallocated stacked micro-batch and the flat-buffer reducer;
+            # the reduced mean lands in the plan's double-buffered gradient
+            # views, which Adam consumes directly.
+            stacked_rows = n * self.batch_size
+            Xb = np.empty((stacked_rows, X_train.shape[1]), dtype=dtype)
+            yb = np.empty(stacked_rows, dtype=y_train.dtype)
+            reducer = (
+                RingReducer(n, plan.num_flat_params)
+                if self.allreduce == "ring"
+                else None
+            )
+
         result = TrainResult(best_val_accuracy=-np.inf, final_val_accuracy=0.0)
         best_acc = -np.inf
         for epoch in range(self.epochs):
             warmup.on_epoch_begin(epoch)
             orders = [shard[rng.permutation(len(shard))] for shard in shards]
+            # Hoisted per-epoch index matrix: row r is rank r's epoch-long
+            # draw, so a step's global batch is one contiguous column slice
+            # instead of n per-rank fancy-index gathers.
+            epoch_idx = (
+                np.stack([order[: steps * self.batch_size] for order in orders])
+                if hoistable
+                else None
+            )
             epoch_loss = 0.0
             for step in range(steps):
                 lo = step * self.batch_size
                 hi = lo + self.batch_size
+                if batched:
+                    flat_idx = epoch_idx[:, lo:hi].ravel()
+                    np.take(X_train, flat_idx, axis=0, out=Xb)
+                    np.take(y_train, flat_idx, axis=0, out=yb)
+                    losses, rank_grads = plan.loss_and_grads_ranked(Xb, yb, n)
+                    if reducer is not None:
+                        reducer.reduce(rank_grads, out=plan.mean_grad_flat)
+                    else:
+                        allreduce_mean_flat(rank_grads, out=plan.mean_grad_flat)
+                    optimizer.apply_gradients(plan.mean_grad_views)
+                    epoch_loss += float(np.mean(losses))
+                    continue
                 if self.allreduce == "fused":
-                    idx = np.concatenate([order[lo:hi] for order in orders])
+                    if epoch_idx is not None:
+                        idx = epoch_idx[:, lo:hi].ravel()
+                    else:
+                        idx = np.concatenate([order[lo:hi] for order in orders])
                     grads, loss = self._rank_gradient(
                         model, X_train[idx], y_train[idx], plan, copy=False
                     )
@@ -188,7 +289,14 @@ class DataParallelTrainer:
                         )
                         per_rank.append(g)
                         losses.append(loss_r)
-                    reduce_fn = ring_allreduce if self.allreduce == "ring" else allreduce_mean
+                    # The loop mode is the pre-vectorization reference, so it
+                    # keeps the chunked-list ring (bitwise identical to the
+                    # flat-buffer reducer; see tests/test_rank_vectorized.py).
+                    reduce_fn = (
+                        ring_allreduce_reference
+                        if self.allreduce == "ring"
+                        else allreduce_mean
+                    )
                     mean_grads = reduce_fn(per_rank)
                     loss = float(np.mean(losses))
                 optimizer.apply_gradients(mean_grads)
@@ -200,7 +308,7 @@ class DataParallelTrainer:
                 result.diverged = True
                 result.epoch_train_losses.append(mean_loss)
                 result.epoch_val_accuracies.append(0.0)
-                self._emit_epoch(epoch, mean_loss, 0.0)
+                self._emit_epoch(epoch, mean_loss, 0.0, ring_bytes)
                 break
             val_logits = (
                 plan.predict_logits(X_valid) if plan is not None
@@ -209,7 +317,7 @@ class DataParallelTrainer:
             val_acc = accuracy(val_logits, y_valid)
             result.epoch_val_accuracies.append(val_acc)
             result.epoch_train_losses.append(mean_loss)
-            self._emit_epoch(epoch, mean_loss, val_acc)
+            self._emit_epoch(epoch, mean_loss, val_acc, ring_bytes)
             if val_acc > best_acc:
                 best_acc = val_acc
                 if self.keep_best_weights:
@@ -217,5 +325,8 @@ class DataParallelTrainer:
             plateau.on_epoch_end(val_acc)
 
         result.best_val_accuracy = float(max(best_acc, 0.0))
-        result.final_val_accuracy = result.epoch_val_accuracies[-1]
+        # epochs=0 (or an empty history) yields a zeroed result, not a crash.
+        result.final_val_accuracy = (
+            result.epoch_val_accuracies[-1] if result.epoch_val_accuracies else 0.0
+        )
         return result

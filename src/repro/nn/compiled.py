@@ -28,6 +28,16 @@ stable-sigmoid formula), so losses and gradients match the eager reference
 to float round-off; :func:`assert_plan_equivalence` is the seeded gate the
 test-suite and the perf harness both call.
 
+A plan also executes in **multi-rank mode** for the data-parallel
+trainer: :meth:`CompiledPlan.loss_and_grads_ranked` runs ``n`` stacked
+micro-batches through one fused forward/backward and recovers the *per
+rank* parameter gradients — batched ``(n, bs, ·)`` matmuls writing
+through column-slice views into an allreduce-ready ``(n, P)`` flat
+matrix (:class:`_RankGradBuffers`), with the reduced mean double-buffered
+in ``mean_grad_flat`` / ``mean_grad_views`` for the optimizer.  Each
+rank's gradients are bitwise identical to ``n`` separate
+``loss_and_grad`` calls (gated in ``tests/test_rank_vectorized.py``).
+
 Buffer-reuse invariants (see DESIGN.md §Performance):
 
 1. every forward value slot is written exactly once per step and stays
@@ -113,7 +123,16 @@ class _DenseOp:
             raise AssertionError(f"unknown activation {act!r}")
 
     def backward(self, vals: list[np.ndarray], grads: list[np.ndarray | None],
-                 aux: dict, gW: np.ndarray, gb: np.ndarray) -> None:
+                 aux: dict, gW: np.ndarray, gb: np.ndarray,
+                 ranks: int = 0) -> None:
+        """Backward step; ``ranks > 0`` switches to rank-batched param grads.
+
+        In rank mode the batch axis is ``ranks`` stacked micro-batches and
+        ``gW``/``gb`` are ``(ranks, ...)`` buffers: the parameter gradients
+        are reduced per micro-batch segment via one batched matmul instead
+        of the full-batch reduction.  The activation backward and the
+        input-gradient chain are row-wise and shared by both modes.
+        """
         dout = grads[self.out_slot]
         act = self.activation
         if act == "relu":
@@ -139,8 +158,15 @@ class _DenseOp:
             scr += sig
             dout *= scr
         h = vals[self.in_slot]
-        np.matmul(h.T, dout, out=gW)
-        np.sum(dout, axis=0, out=gb)
+        if ranks:
+            bs = h.shape[0] // ranks
+            h3 = h.reshape(ranks, bs, h.shape[1])
+            d3 = dout.reshape(ranks, bs, dout.shape[1])
+            np.matmul(h3.transpose(0, 2, 1), d3, out=gW)
+            np.sum(d3, axis=1, out=gb)
+        else:
+            np.matmul(h.T, dout, out=gW)
+            np.sum(dout, axis=0, out=gb)
         if self.in_needs_grad:
             din = grads[self.in_slot]
             if self.first_touch:
@@ -187,7 +213,7 @@ class _SkipOp:
         np.copyto(acc, 0.0, where=nmask)
 
     def backward(self, vals: list[np.ndarray], grads: list[np.ndarray | None],
-                 aux: dict, param_grads: dict) -> None:
+                 aux: dict, param_grads: dict, ranks: int = 0) -> None:
         dacc = grads[self.out_slot]
         dacc *= aux[(id(self), "mask")]
         if self.base_needs_grad:
@@ -202,8 +228,16 @@ class _SkipOp:
             slot, proj = self.sources[k]
             needs_grad, first = self.source_flags[k]
             gW, gb = param_grads[id(proj)]
-            np.matmul(vals[slot].T, dacc, out=gW)
-            np.sum(dacc, axis=0, out=gb)
+            h = vals[slot]
+            if ranks:
+                bs = h.shape[0] // ranks
+                h3 = h.reshape(ranks, bs, h.shape[1])
+                d3 = dacc.reshape(ranks, bs, dacc.shape[1])
+                np.matmul(h3.transpose(0, 2, 1), d3, out=gW)
+                np.sum(d3, axis=1, out=gb)
+            else:
+                np.matmul(h.T, dacc, out=gW)
+                np.sum(dacc, axis=0, out=gb)
             if needs_grad:
                 dsrc = grads[slot]
                 if first:
@@ -260,6 +294,31 @@ class _BufferSet:
         n_classes = widths[plan.logits_slot]
         self.probs = np.empty((n, n_classes), dtype=dt)
         self.rowred = np.empty((n, 1), dtype=dt)
+
+
+class _RankGradBuffers:
+    """One flat ``(num_ranks, P)`` per-rank gradient matrix with views.
+
+    Every layer's batched gradients (``(n, d_in, d_out)`` for weights,
+    ``(n, d_out)`` for biases) are reshaped column-slice *views* into the
+    flat matrix, so the backward pass writes per-rank gradients directly
+    into allreduce-ready layout — no packing pass, no per-rank copies.
+    """
+
+    __slots__ = ("flat", "layer_views")
+
+    def __init__(self, plan: "CompiledPlan", num_ranks: int) -> None:
+        n = num_ranks
+        self.flat = np.empty((n, plan.num_flat_params), dtype=plan.dtype)
+        self.layer_views: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for layer in plan._layers:
+            oW, sW, shW = plan._param_layout[id(layer.W)]
+            ob, sb, shb = plan._param_layout[id(layer.b)]
+            gW = self.flat[:, oW : oW + sW].reshape((n,) + shW)
+            gb = self.flat[:, ob : ob + sb].reshape((n,) + shb)
+            if not (np.shares_memory(gW, self.flat) and np.shares_memory(gb, self.flat)):
+                raise AssertionError("rank gradient views must alias the flat matrix")
+            self.layer_views[id(layer)] = (gW, gb)
 
 
 class CompiledPlan:
@@ -348,7 +407,31 @@ class CompiledPlan:
         self._params: list[Tensor] = model.parameters()
         self.grad_buffers: list[np.ndarray] = [self._grad_for(p) for p in self._params]
 
+        # Flat-gradient layout: each parameter occupies one contiguous
+        # [offset, offset + size) column span, in ``parameters()`` order —
+        # the packing order the ring-allreduce reference uses.
+        self.param_segments: list[tuple[int, int, tuple[int, ...]]] = []
+        self._param_layout: dict[int, tuple[int, int, tuple[int, ...]]] = {}
+        offset = 0
+        for p in self._params:
+            seg = (offset, p.data.size, p.data.shape)
+            self.param_segments.append(seg)
+            self._param_layout[id(p)] = seg
+            offset += p.data.size
+        self.num_flat_params = offset
+
+        # Double-buffered gradients for the rank-batched data-parallel
+        # path: per-rank gradients land in a _RankGradBuffers (n, P) matrix
+        # (the producer side), the reduced mean lands here (the consumer
+        # side Adam reads), so neither step needs a defensive copy.
+        self.mean_grad_flat = np.empty(self.num_flat_params, dtype=self.dtype)
+        self.mean_grad_views: list[np.ndarray] = [
+            self.mean_grad_flat[o : o + s].reshape(shape)
+            for o, s, shape in self.param_segments
+        ]
+
         self._buffers: dict[int, _BufferSet] = {}
+        self._rank_buffers: dict[int, _RankGradBuffers] = {}
 
     # ------------------------------------------------------------------ #
     def _register_layer(self, layer: Dense) -> None:
@@ -372,6 +455,13 @@ class CompiledPlan:
         if bufs is None:
             bufs = _BufferSet(self, n)
             self._buffers[n] = bufs
+        return bufs
+
+    def rank_buffers_for(self, num_ranks: int) -> _RankGradBuffers:
+        bufs = self._rank_buffers.get(num_ranks)
+        if bufs is None:
+            bufs = _RankGradBuffers(self, num_ranks)
+            self._rank_buffers[num_ranks] = bufs
         return bufs
 
     @property
@@ -430,6 +520,69 @@ class CompiledPlan:
                 op.backward(vals, grads, aux, self.param_grads)
         self.install_grads()
         return loss
+
+    def loss_and_grads_ranked(
+        self, X: np.ndarray, y: np.ndarray, num_ranks: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-rank losses and gradients in one fused pass.
+
+        ``X``/``y`` hold ``num_ranks`` stacked equal-size micro-batches
+        (rank ``r`` owns rows ``[r·bs, (r+1)·bs)``).  One forward/backward
+        runs over all ``n·bs`` rows — forward values and the activation /
+        input-gradient chain are row-wise, hence identical to the per-rank
+        loop — while each rank's *own* mean-loss gradient is recovered by
+        batched segment reduction: ``dlogits`` rows are scaled by
+        ``1/bs`` (not ``1/(n·bs)``) and every parameter gradient reduces
+        its ``(n, bs, ·)`` reshape over the micro-batch axis only.
+
+        Returns ``(losses, rank_grads)``: per-rank mean losses ``(n,)``
+        (float64) and the plan's reused ``(n, P)`` flat gradient matrix in
+        the ring-allreduce packing order.  The matrix is overwritten by the
+        next call; reduce it before then.  Parameter ``.grad`` pointers are
+        untouched — consumers install the reduced mean themselves.
+        """
+        X = np.ascontiguousarray(X, dtype=self.dtype)
+        y = np.asarray(y)
+        n_rows = X.shape[0]
+        if num_ranks < 1 or n_rows % num_ranks:
+            raise ValueError(
+                f"stacked batch of {n_rows} rows does not split into "
+                f"{num_ranks} equal micro-batches"
+            )
+        bs = n_rows // num_ranks
+        bufs = self.buffers_for(n_rows)
+        logits = self._forward(X, bufs)
+
+        # Softmax cross-entropy, replaying the eager op order exactly; the
+        # only departure from loss_and_grad is the per-rank loss reduction
+        # and the 1/bs gradient scale.
+        shifted = bufs.probs
+        rowred = bufs.rowred
+        np.max(logits, axis=1, keepdims=True, out=rowred)
+        np.subtract(logits, rowred, out=shifted)
+        dlogits = bufs.grads[self.logits_slot]
+        np.exp(shifted, out=dlogits)
+        np.sum(dlogits, axis=1, keepdims=True, out=rowred)
+        np.log(rowred, out=rowred)
+        shifted -= rowred                                  # log-probs
+        labels = y.astype(np.intp, copy=False)
+        picked = shifted[bufs.rows, labels]
+        losses = -picked.reshape(num_ranks, bs).mean(axis=1).astype(np.float64)
+
+        c = 1.0 / bs
+        np.exp(shifted, out=dlogits)                       # softmax
+        dlogits *= c
+        dlogits[bufs.rows, labels] -= c
+
+        rank_bufs = self.rank_buffers_for(num_ranks)
+        vals, grads, aux = bufs.vals, bufs.grads, bufs.aux
+        for op in reversed(self.ops):
+            if isinstance(op, _DenseOp):
+                gW, gb = rank_bufs.layer_views[id(op.layer)]
+                op.backward(vals, grads, aux, gW, gb, ranks=num_ranks)
+            else:
+                op.backward(vals, grads, aux, rank_bufs.layer_views, ranks=num_ranks)
+        return losses, rank_bufs.flat
 
     def install_grads(self) -> None:
         """Point every parameter's ``.grad`` at its plan buffer."""

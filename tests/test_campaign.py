@@ -344,6 +344,23 @@ def test_event_stream_reports_retries_under_faults(tmp_path):
     assert metrics.counts["EpochEnd"] > 0
 
 
+def test_metrics_aggregator_accumulates_ring_comm_bytes():
+    """EpochEnd ring payloads aggregate into the simulated comm volume."""
+    from repro.campaign.events import EpochEnd
+
+    metrics = MetricsAggregator()
+    metrics(EpochEnd(epoch=0, train_loss=1.0, val_accuracy=0.5,
+                     num_ranks=4, ring_bytes_per_rank=600))
+    metrics(EpochEnd(epoch=1, train_loss=0.9, val_accuracy=0.6,
+                     num_ranks=4, ring_bytes_per_rank=600))
+    metrics(EpochEnd(epoch=0, train_loss=1.1, val_accuracy=0.4))  # n=1, no ring
+    assert metrics.ring_comm_bytes == 2 * 4 * 600
+    assert metrics.summary()["ring_comm_bytes"] == 4800
+    # Round-trips through the JSONL schema with the new field defaulted.
+    row = EpochEnd(epoch=0, train_loss=1.0, val_accuracy=0.5).to_dict()
+    assert row["ring_bytes_per_rank"] == 0
+
+
 # --------------------------------------------------------------------- #
 # Checkpoint / resume through the campaign layer
 # --------------------------------------------------------------------- #

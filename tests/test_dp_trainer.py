@@ -110,6 +110,58 @@ def test_constructor_validation():
         DataParallelTrainer(num_ranks=0)
     with pytest.raises(ValueError):
         DataParallelTrainer(num_ranks=1, allreduce="tree")
+    with pytest.raises(ValueError):
+        DataParallelTrainer(num_ranks=1, rank_mode="vector")
+    with pytest.raises(ValueError):
+        DataParallelTrainer(num_ranks=1, epochs=-1)
+
+
+def test_epochs_zero_returns_zeroed_result(rng):
+    """epochs=0 yields a zeroed TrainResult instead of an IndexError."""
+    X, y = make_blobs(np.random.default_rng(8), n=200)
+    net = build(seed=4)
+    before = [w.copy() for w in net.get_weights()]
+    result = DataParallelTrainer(num_ranks=2, epochs=0, batch_size=16).fit(
+        net, X[:160], y[:160], X[160:], y[160:], rng
+    )
+    assert result.best_val_accuracy == 0.0
+    assert result.final_val_accuracy == 0.0
+    assert result.epoch_val_accuracies == []
+    assert result.epoch_train_losses == []
+    assert not result.diverged
+    for a, b in zip(before, net.get_weights()):
+        np.testing.assert_array_equal(a, b)  # no training happened
+
+
+def test_epoch_end_event_reports_ring_bytes():
+    """EpochEnd carries the simulated per-rank ring communication volume."""
+    from repro.campaign.events import EpochEnd, EventBus
+    from repro.dataparallel import ring_transfer_stats
+
+    X, y = make_blobs(np.random.default_rng(9), n=300)
+    net = build(seed=6)
+    trainer = DataParallelTrainer(num_ranks=4, epochs=2, batch_size=16, allreduce="ring")
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append, EpochEnd)
+    trainer.event_bus = bus
+    trainer.fit(net, X[:240], y[:240], X[240:], y[240:], np.random.default_rng(2))
+    assert len(seen) == 2
+    expected = ring_transfer_stats(
+        4, net.num_parameters() * net.dtype.itemsize
+    ).bytes_sent_per_rank
+    assert all(e.ring_bytes_per_rank == expected for e in seen)
+    assert expected > 0
+
+    # Non-ring reductions report zero communication.
+    net2 = build(seed=6)
+    trainer2 = DataParallelTrainer(num_ranks=4, epochs=1, batch_size=16, allreduce="fused")
+    bus2 = EventBus()
+    seen2 = []
+    bus2.subscribe(seen2.append, EpochEnd)
+    trainer2.event_bus = bus2
+    trainer2.fit(net2, X[:240], y[:240], X[240:], y[240:], np.random.default_rng(2))
+    assert seen2 and all(e.ring_bytes_per_rank == 0 for e in seen2)
 
 
 def test_large_effective_batch_degrades_accuracy():

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Perf-regression check: fresh bench timings vs the committed baselines.
+
+Compares the working-tree ``BENCH_*.json`` files (freshly written by the
+``benchmarks/`` suite) against the last committed version of each file
+(``git show HEAD:BENCH_*.json``) and reports, entry by entry, how the
+optimized-path timing moved.  An entry whose ``optimized_s`` grew by more
+than the threshold (default 30%) is flagged as a regression.
+
+The check is **non-gating by default**: shared CI runners have noisy
+clocks, so a flagged entry prints a warning and the exit status stays 0.
+Pass ``--gate`` to turn regressions into a non-zero exit for local
+before/after runs on a quiet machine.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench.py [--threshold 0.30] [--gate]
+
+Entries present on only one side (new benches, renamed rows) are listed
+informationally and never flagged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_GLOB = "BENCH_*.json"
+
+
+def load_committed(name: str) -> dict | None:
+    """The HEAD version of a bench file, or None when it is new."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def entries_by_name(report: dict) -> dict[str, dict]:
+    return {e["name"]: e for e in report.get("entries", [])}
+
+
+def compare(fresh: dict, baseline: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """(regressions, notes) for one bench report pair."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    fresh_entries = entries_by_name(fresh)
+    base_entries = entries_by_name(baseline)
+    for name, entry in fresh_entries.items():
+        base = base_entries.get(name)
+        if base is None:
+            notes.append(f"  new entry {name!r} (no baseline)")
+            continue
+        old = base.get("optimized_s", 0.0)
+        new = entry.get("optimized_s", 0.0)
+        if old <= 0.0:
+            notes.append(f"  {name}: baseline has no positive timing, skipped")
+            continue
+        ratio = new / old
+        marker = " <-- REGRESSION" if ratio > 1.0 + threshold else ""
+        notes.append(
+            f"  {name}: {old * 1e3:.2f} ms -> {new * 1e3:.2f} ms "
+            f"({ratio:.0%} of baseline){marker}"
+        )
+        if marker:
+            regressions.append(
+                f"{name}: optimized path slowed {old * 1e3:.2f} -> "
+                f"{new * 1e3:.2f} ms ({(ratio - 1.0):+.0%})"
+            )
+    for name in base_entries:
+        if name not in fresh_entries:
+            notes.append(f"  entry {name!r} missing from fresh run")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="fractional slowdown of optimized_s that counts as a regression",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when a regression is flagged (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    bench_files = sorted(REPO_ROOT.glob(BENCH_GLOB))
+    if not bench_files:
+        print(f"no {BENCH_GLOB} files found under {REPO_ROOT}")
+        return 0
+
+    all_regressions: list[str] = []
+    for path in bench_files:
+        fresh = json.loads(path.read_text())
+        baseline = load_committed(path.name)
+        print(f"{path.name}:")
+        if baseline is None:
+            print("  no committed baseline (new file), skipping comparison")
+            continue
+        regressions, notes = compare(fresh, baseline, args.threshold)
+        for line in notes:
+            print(line)
+        all_regressions.extend(f"{path.name}: {r}" for r in regressions)
+
+    if all_regressions:
+        print(
+            f"\n{len(all_regressions)} entr{'y' if len(all_regressions) == 1 else 'ies'} "
+            f"slowed by more than {args.threshold:.0%} vs HEAD:"
+        )
+        for r in all_regressions:
+            print(f"  {r}")
+        if args.gate:
+            return 1
+        print("(warn-only: pass --gate to fail on regressions)")
+    else:
+        print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
