@@ -40,6 +40,8 @@ from repro.campaign.config import (
 from repro.campaign.events import (
     EVENT_TYPES,
     BOTellAsk,
+    CacheHit,
+    CacheStore,
     CampaignEvent,
     CampaignFinished,
     CampaignStarted,
@@ -94,6 +96,8 @@ __all__ = [
     "JobGathered",
     "JobRetried",
     "WorkerDied",
+    "CacheHit",
+    "CacheStore",
     "PopulationUpdated",
     "BOTellAsk",
     "EpochEnd",

@@ -46,7 +46,12 @@ from repro.core.results import SearchHistory
 from repro.core.variants import AGEBO_VARIANTS, variant_hp_space
 from repro.datasets import dataset_names, load_dataset
 from repro.searchspace.archspace import ArchitectureSpace
-from repro.workflow.evaluator import SimulatedEvaluator, ThreadedEvaluator
+from repro.workflow.cache import EvaluationCache
+from repro.workflow.evaluator import (
+    ProcessPoolEvaluator,
+    SimulatedEvaluator,
+    ThreadedEvaluator,
+)
 from repro.workflow.faults import FaultInjector, FaultPolicy
 
 __all__ = ["Campaign", "build_campaign", "resume_campaign"]
@@ -55,10 +60,18 @@ __all__ = ["Campaign", "build_campaign", "resume_campaign"]
 # --------------------------------------------------------------------- #
 # Built-in registry entries
 # --------------------------------------------------------------------- #
+def _make_cache(cfg) -> EvaluationCache | None:
+    """The evaluator's memoization cache, or None when ``cache="off"``."""
+    return EvaluationCache() if cfg.cache == "exact" else None
+
+
 EVALUATORS.register(
     "simulated",
     lambda run_function, cfg, policy: SimulatedEvaluator(
-        run_function, num_workers=cfg.num_workers, fault_policy=policy
+        run_function,
+        num_workers=cfg.num_workers,
+        fault_policy=policy,
+        cache=_make_cache(cfg),
     ),
 )
 EVALUATORS.register(
@@ -68,6 +81,17 @@ EVALUATORS.register(
         num_workers=cfg.num_workers,
         measure_wall_time=cfg.measure_wall_time,
         fault_policy=policy,
+        cache=_make_cache(cfg),
+    ),
+)
+EVALUATORS.register(
+    "process",
+    lambda run_function, cfg, policy: ProcessPoolEvaluator(
+        run_function,
+        num_workers=cfg.num_workers,
+        measure_wall_time=cfg.measure_wall_time,
+        fault_policy=policy,
+        cache=_make_cache(cfg),
     ),
 )
 

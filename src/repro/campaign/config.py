@@ -122,15 +122,25 @@ class TrainingConfig:
 @dataclass(frozen=True)
 class EvaluatorConfig:
     """The cluster backend: ``backend`` names an entry of the evaluator
-    registry (``"simulated"`` or ``"threaded"``)."""
+    registry (``"simulated"``, ``"threaded"`` or ``"process"``); ``cache``
+    enables evaluation memoization (``"off"`` or ``"exact"`` — exact-match
+    canonical-hash lookup of already-evaluated configurations)."""
 
     backend: str = "simulated"
     num_workers: int = 8
-    measure_wall_time: bool = False  # threaded backend only
+    measure_wall_time: bool = False  # wall-clock backends only
+    cache: str = "off"
 
     def __post_init__(self) -> None:
+        from repro.workflow.cache import CACHE_MODES
+
         if self.num_workers < 1:
             raise ValueError("evaluator.num_workers must be >= 1")
+        if self.cache not in CACHE_MODES:
+            raise ValueError(
+                f"unknown evaluator.cache mode {self.cache!r}; known modes are "
+                f"{list(CACHE_MODES)}"
+            )
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,8 @@ __all__ = [
     "EpochEnd",
     "FaultInjected",
     "CheckpointWritten",
+    "CacheHit",
+    "CacheStore",
     "EVENT_TYPES",
     "EventBus",
     "JsonlEventLog",
@@ -185,6 +187,28 @@ class CheckpointWritten(CampaignEvent):
     time: float
 
 
+@dataclass(frozen=True)
+class CacheHit(CampaignEvent):
+    """An evaluator served a job from the evaluation cache (no re-training).
+
+    ``key`` is the canonical config digest
+    (:func:`repro.workflow.cache.canonical_config_key`).
+    """
+
+    job_id: int
+    key: str
+    time: float
+
+
+@dataclass(frozen=True)
+class CacheStore(CampaignEvent):
+    """A finished evaluation's result was memoized into the cache."""
+
+    job_id: int
+    key: str
+    time: float
+
+
 #: The event catalogue: every event class this package may emit.  The
 #: schema lint (``tools/check_events.py``) checks emission sites against
 #: exactly this mapping.
@@ -202,6 +226,8 @@ EVENT_TYPES: dict[str, type[CampaignEvent]] = {
         EpochEnd,
         FaultInjected,
         CheckpointWritten,
+        CacheHit,
+        CacheStore,
     )
 }
 
@@ -349,6 +375,8 @@ class MetricsAggregator:
         self.gather_latencies: list[float] = []
         self.best_objective = float("-inf")
         self.ring_comm_bytes = 0
+        self.num_cache_hits = 0
+        self.num_cache_stores = 0
 
     def __call__(self, event: CampaignEvent) -> None:
         self.counts[event.name] = self.counts.get(event.name, 0) + 1
@@ -372,6 +400,10 @@ class MetricsAggregator:
             self.num_worker_deaths += 1
         elif isinstance(event, FaultInjected):
             self.num_faults_injected += 1
+        elif isinstance(event, CacheHit):
+            self.num_cache_hits += 1
+        elif isinstance(event, CacheStore):
+            self.num_cache_stores += 1
         elif isinstance(event, EpochEnd):
             # Simulated communication volume: every rank ships its ring
             # payload once per epoch's reduction schedule.
@@ -392,6 +424,11 @@ class MetricsAggregator:
         lat = self.gather_latencies
         return sum(lat) / len(lat) if lat else 0.0
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over gathered jobs (0.0 when nothing finished)."""
+        return self.num_cache_hits / self.num_jobs_done if self.num_jobs_done else 0.0
+
     def summary(self) -> dict[str, Any]:
         """Aggregate metrics as a plain dict (JSON-safe)."""
         return {
@@ -408,6 +445,9 @@ class MetricsAggregator:
             "mean_gather_latency": self.mean_gather_latency,
             "best_objective": self.best_objective,
             "ring_comm_bytes": self.ring_comm_bytes,
+            "num_cache_hits": self.num_cache_hits,
+            "num_cache_stores": self.num_cache_stores,
+            "cache_hit_rate": self.cache_hit_rate,
             "event_counts": dict(self.counts),
         }
 

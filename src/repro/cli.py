@@ -56,8 +56,10 @@ from repro.campaign import (
     build_campaign,
     resume_campaign,
 )
+from repro.campaign.registry import EVALUATORS
 from repro.core.variants import AGEBO_VARIANTS
 from repro.datasets import DATASET_SPECS, dataset_names
+from repro.workflow.cache import CACHE_MODES
 
 __all__ = ["main", "build_parser", "config_from_args"]
 
@@ -92,7 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--seed", type=int, default=0)
     p_search.add_argument("--dtype", choices=("float32", "float64"), default="float64",
                           help="training precision (float32 halves memory traffic)")
-    p_search.add_argument("--backend", choices=("compiled", "eager"), default="compiled",
+    p_search.add_argument("--backend", choices=tuple(EVALUATORS.names()),
+                          default="simulated",
+                          help="evaluator backend (simulated clock, thread pool, "
+                               "or true multi-core process pool)")
+    p_search.add_argument("--cache", choices=CACHE_MODES, default="off",
+                          help="evaluation memoization: 'exact' serves duplicate "
+                               "configurations from memo without re-training")
+    p_search.add_argument("--train-backend", choices=("compiled", "eager"),
+                          default="compiled",
                           help="training execution path (compiled plan vs eager tape)")
     p_search.add_argument("--top", type=int, default=5, help="top-k models to print")
     p_search.add_argument("--save-history", type=str, default=None,
@@ -160,10 +170,12 @@ def config_from_args(args) -> CampaignConfig:
         training=TrainingConfig(
             epochs=args.epochs,
             nominal_epochs=20,
-            backend=args.backend,
+            backend=args.train_backend,
             dtype=args.dtype,
         ),
-        evaluator=EvaluatorConfig(backend="simulated", num_workers=args.workers),
+        evaluator=EvaluatorConfig(
+            backend=args.backend, num_workers=args.workers, cache=args.cache
+        ),
         faults=FaultConfig(
             on_error=args.on_error,
             max_retries=args.max_retries,
@@ -233,10 +245,17 @@ def _cmd_search(args, out) -> int:
     evaluator = campaign.evaluator
     util = utilization_summary(evaluator)
     failures = f", {history.num_failures} penalized" if history.num_failures else ""
+    clock = "simulated" if campaign.config.evaluator.backend == "simulated" else "wall-clock"
+    cache_note = ""
+    if evaluator.cache is not None:
+        cache_note = (
+            f", cache hit-rate {evaluator.cache.hit_rate:.0%} "
+            f"({evaluator.cache.hits} hits)"
+        )
     print(
         f"\n{history.label}: {len(history)} evaluations in "
-        f"{evaluator.now:.1f} simulated minutes "
-        f"({util.utilization:.0%} utilization{failures})",
+        f"{evaluator.now:.1f} {clock} minutes "
+        f"({util.utilization:.0%} utilization{failures}{cache_note})",
         file=out,
     )
     print(f"{'rank':<5} {'val acc':<9} {'bs':<5} {'lr':<9} {'n':<3} duration", file=out)

@@ -10,12 +10,23 @@ of Algorithm 1 with two interchangeable backends:
   :class:`repro.dataparallel.TrainingCostModel`).
 - :class:`ThreadedEvaluator` — real concurrent execution on a thread pool,
   used to validate that the search loops are genuinely asynchronous.
+- :class:`ProcessPoolEvaluator` — true multi-core execution on a process
+  pool with worker-crash detection and real timeout cancellation.
+
+All backends accept an optional :class:`EvaluationCache` that serves
+duplicate configurations from memo instead of re-training them.
 """
 
 from repro.workflow.events import EventQueue
 from repro.workflow.jobs import EvaluationResult, Job, JobState
 from repro.workflow.faults import FaultInjector, FaultPolicy, InjectedCrash
-from repro.workflow.evaluator import Evaluator, SimulatedEvaluator, ThreadedEvaluator
+from repro.workflow.cache import CACHE_MODES, EvaluationCache, canonical_config_key
+from repro.workflow.evaluator import (
+    Evaluator,
+    ProcessPoolEvaluator,
+    SimulatedEvaluator,
+    ThreadedEvaluator,
+)
 
 __all__ = [
     "EventQueue",
@@ -25,6 +36,10 @@ __all__ = [
     "Evaluator",
     "SimulatedEvaluator",
     "ThreadedEvaluator",
+    "ProcessPoolEvaluator",
+    "EvaluationCache",
+    "canonical_config_key",
+    "CACHE_MODES",
     "FaultPolicy",
     "FaultInjector",
     "InjectedCrash",

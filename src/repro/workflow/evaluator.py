@@ -10,31 +10,96 @@ mirroring DeepHyper/Balsam.  Both backends here expose exactly that:
   from the ``duration`` the function reports (the training-cost model).
 - :class:`ThreadedEvaluator` runs evaluation functions concurrently on a
   thread pool; ``gather`` blocks until at least one finishes.
+- :class:`ProcessPoolEvaluator` runs evaluation functions on a process
+  pool — true multi-core parallelism for GIL-bound (numpy-heavy) run
+  functions, with worker-crash detection and real timeout cancellation
+  (hung worker processes are terminated and the pool rebuilt).
 
-Both honor the same :class:`~repro.workflow.faults.FaultPolicy` (retries
-with exponential backoff, per-job timeouts, penalized results), and the
-simulated backend additionally models worker failures: a worker dies at a
-scheduled time, its in-flight job is rescheduled on a surviving worker.
-The simulated backend is fully checkpointable via ``state_dict`` /
-``load_state`` so a killed campaign resumes bit-identically.
+All backends honor the same :class:`~repro.workflow.faults.FaultPolicy`
+(retries with exponential backoff, per-job timeouts, penalized results)
+and the same optional :class:`~repro.workflow.cache.EvaluationCache`
+(duplicate configurations are served from memo without re-training).  The
+simulated backend additionally models worker failures — a worker dies at
+a scheduled time, its in-flight job is rescheduled on a surviving worker —
+and is fully checkpointable via ``state_dict`` / ``load_state`` (cache
+included) so a killed campaign resumes bit-identically.
 """
 
 from __future__ import annotations
 
 import collections
+import copy
 import dataclasses
+import pickle
 import threading
 import time as _time
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.workflow.cache import EvaluationCache
 from repro.workflow.events import EventQueue
 from repro.workflow.faults import FaultPolicy
 from repro.workflow.jobs import EvaluationResult, Job, JobState, job_from_dict, job_to_dict
 
-__all__ = ["Evaluator", "SimulatedEvaluator", "ThreadedEvaluator"]
+__all__ = [
+    "Evaluator",
+    "SimulatedEvaluator",
+    "ThreadedEvaluator",
+    "ProcessPoolEvaluator",
+]
 
 RunFunction = Callable[[Any], EvaluationResult]
+
+
+# --------------------------------------------------------------------- #
+# Process-pool worker plumbing.  The run function is pickled once at
+# construction and installed into each worker via the pool initializer, so
+# large captured state (datasets, cost models) crosses the process
+# boundary once per worker instead of once per job.
+# --------------------------------------------------------------------- #
+_WORKER_RUN_FUNCTION: RunFunction | None = None
+
+
+def _process_worker_init(payload: bytes) -> None:
+    global _WORKER_RUN_FUNCTION
+    _WORKER_RUN_FUNCTION = pickle.loads(payload)
+
+
+def _process_worker_call(config: Any) -> tuple[EvaluationResult, float]:
+    """Run one evaluation in a worker; returns (result, elapsed minutes)."""
+    assert _WORKER_RUN_FUNCTION is not None, "worker pool not initialized"
+    t0 = _time.perf_counter()
+    result = _WORKER_RUN_FUNCTION(config)
+    return result, (_time.perf_counter() - t0) / 60.0
+
+
+def _strip_event_bus(fn: Any) -> Any:
+    """A shallow copy of a run-function chain with event buses detached.
+
+    Campaign buses hold arbitrary subscribers (open JSONL files, stdout
+    reporters) that cannot cross a process boundary; worker-side emissions
+    could not reach the manager's bus anyway.  Wrappers exposing a
+    ``run_function`` attribute (e.g. FaultInjector) are stripped through.
+    """
+    clone = fn
+    if getattr(fn, "event_bus", None) is not None:
+        clone = copy.copy(fn)
+        clone.event_bus = None
+    inner = getattr(clone, "run_function", None)
+    if inner is not None:
+        stripped = _strip_event_bus(inner)
+        if stripped is not inner:
+            if clone is fn:
+                clone = copy.copy(fn)
+            clone.run_function = stripped
+    return clone
 
 
 def _resolve_policy(
@@ -61,10 +126,14 @@ class Evaluator:
     ``event_bus`` is an optional campaign event bus (attached by
     :func:`repro.campaign.build_campaign`); backends emit job lifecycle
     events (:class:`~repro.campaign.events.JobSubmitted`, ``JobGathered``,
-    ``JobRetried``, ``WorkerDied``) through it when set.
+    ``JobRetried``, ``WorkerDied``, ``CacheHit``, ``CacheStore``) through
+    it when set.  ``cache`` is an optional
+    :class:`~repro.workflow.cache.EvaluationCache` consulted at submit
+    time and filled at completion time by every backend.
     """
 
     event_bus = None
+    cache: EvaluationCache | None = None
 
     def _emit_submitted(self, job: Job) -> None:
         if self.event_bus is not None:
@@ -103,6 +172,29 @@ class Evaluator:
                     error=job.error,
                 )
             )
+
+    def _emit_cache_hit(self, job: Job) -> None:
+        if self.event_bus is not None and self.cache is not None:
+            from repro.campaign.events import CacheHit
+
+            self.event_bus.emit(
+                CacheHit(job_id=job.job_id, key=self.cache.key(job.config), time=self.now)
+            )
+
+    def _emit_cache_store(self, job: Job) -> None:
+        if self.event_bus is not None and self.cache is not None:
+            from repro.campaign.events import CacheStore
+
+            self.event_bus.emit(
+                CacheStore(job_id=job.job_id, key=self.cache.key(job.config), time=self.now)
+            )
+
+    def _cache_store(self, job: Job) -> None:
+        """Memoize a successfully finished, freshly computed result."""
+        if self.cache is None or job.cache_hit or job.result is None:
+            return
+        if self.cache.store(job.config, job.result):
+            self._emit_cache_store(job)
 
     def submit(self, configs: Sequence[Any]) -> list[Job]:
         """Queue configurations for evaluation; returns the job records."""
@@ -148,6 +240,14 @@ class SimulatedEvaluator(Evaluator):
         Optional ``(time_minutes, worker_id)`` pairs: the worker dies
         permanently at that simulated time; a job running on it is
         rescheduled (front of the queue) on a surviving worker.
+    cache:
+        Optional :class:`~repro.workflow.cache.EvaluationCache`.  A hit
+        skips the run-function call (no re-training) but *replays the
+        memoized duration on the simulated clock* — the worker stays
+        reserved until ``start + duration`` — so the campaign timeline
+        (and the search history) is bit-identical with the cache on or
+        off.  Hits are credited zero busy time, keeping ``utilization()``
+        honest about compute that never happened.
 
     Notes
     -----
@@ -168,11 +268,13 @@ class SimulatedEvaluator(Evaluator):
         failure_duration: float | None = None,
         fault_policy: FaultPolicy | None = None,
         worker_failures: Iterable[tuple[float, int]] | None = None,
+        cache: EvaluationCache | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.run_function = run_function
         self.num_workers = num_workers
+        self.cache = cache
         self.fault_policy = _resolve_policy(
             fault_policy, on_error, failure_objective, failure_duration
         )
@@ -258,6 +360,18 @@ class SimulatedEvaluator(Evaluator):
         job.start_time = self._clock
         job.attempt += 1
         self._running[worker] = job
+        if self.cache is not None:
+            cached = self.cache.lookup(job.config)
+            if cached is not None:
+                # Memoized duplicate: skip the run function entirely but
+                # replay the memoized duration on the simulated clock so
+                # the campaign timeline matches a cache-off run exactly.
+                job.cache_hit = True
+                job.result = cached
+                job.end_time = self._clock + cached.duration
+                self._events.push(job.end_time, ("finish", job, job.attempt))
+                self._emit_cache_hit(job)
+                return
         failure: str | None = None
         attempt_duration = policy.failure_duration
         result: EvaluationResult | None = None
@@ -283,6 +397,7 @@ class SimulatedEvaluator(Evaluator):
             job.result = result
             job.end_time = self._clock + result.duration
             self._events.push(job.end_time, ("finish", job, job.attempt))
+            self._cache_store(job)
             return
         # Failed attempt: the worker is occupied for the attempt duration.
         job.error = failure
@@ -324,7 +439,8 @@ class SimulatedEvaluator(Evaluator):
         if job is not None:
             # The in-flight job is rescheduled at the front of the queue;
             # bumping ``attempt`` invalidates its pending completion event.
-            self._busy_time += self._clock - job.start_time
+            if not job.cache_hit:
+                self._busy_time += self._clock - job.start_time
             job.attempt += 1
             job.worker = -1
             job.state = JobState.PENDING
@@ -347,7 +463,10 @@ class SimulatedEvaluator(Evaluator):
                     job.state = (
                         JobState.FAILED if job.result.metadata.get("failed") else JobState.DONE
                     )
-                    self._busy_time += end_time - job.start_time
+                    if not job.cache_hit:
+                        # Cache hits reserved the worker for the memoized
+                        # duration but computed nothing: zero busy credit.
+                        self._busy_time += end_time - job.start_time
                     self._release_worker(job.worker)
                     self._in_flight -= 1
                     finished.append(job)
@@ -411,6 +530,7 @@ class SimulatedEvaluator(Evaluator):
             "event_counter": max((c for _, c, _ in entries), default=-1) + 1,
             "jobs": [job_to_dict(job) for job in self.jobs],
             "policy": dataclasses.asdict(self.fault_policy),
+            "cache": self.cache.state_dict() if self.cache is not None else None,
         }
         if hasattr(self.run_function, "getstate"):
             state["run_function_state"] = self.run_function.getstate()
@@ -446,25 +566,25 @@ class SimulatedEvaluator(Evaluator):
             ],
             int(state["event_counter"]),
         )
+        cache_state = state.get("cache")
+        if cache_state is not None:
+            # A checkpoint written with caching on restores the cache even
+            # when this evaluator was constructed without one, so resumed
+            # campaigns keep their memo (and their hit counters).
+            if self.cache is None:
+                self.cache = EvaluationCache()
+            self.cache.load_state(cache_state)
         if "run_function_state" in state and hasattr(self.run_function, "setstate"):
             self.run_function.setstate(state["run_function_state"])
 
 
-class ThreadedEvaluator(Evaluator):
-    """Real concurrent evaluation on a thread pool.
+class _WallClockEvaluator(Evaluator):
+    """Shared machinery for the wall-clock (thread / process) backends.
 
-    Time is wall-clock minutes since construction.  The reported job
-    duration is the run function's declared duration unless
-    ``measure_wall_time=True``, in which case the measured elapsed time
-    (in minutes) replaces it.
-
-    The :class:`FaultPolicy` surface matches :class:`SimulatedEvaluator`
-    (API parity): exceptions and invalid objectives are raised, penalized
-    or retried; ``timeout`` (wall-clock minutes) abandons stragglers — the
-    worker thread keeps running but the job is finalized with a penalized
-    result so the campaign never blocks on a hung evaluation.  Retries are
-    resubmitted immediately (exponential backoff is a simulated-minutes
-    concept; sleeping real minutes would stall the pool).
+    Time is wall-clock minutes since construction.  Subclasses provide
+    ``_dispatch`` (queue one attempt on their pool), ``gather`` and
+    ``shutdown``; everything else — submit bookkeeping, the cache-hit
+    short-circuit, failure routing and the deadline scan — is common.
     """
 
     def __init__(
@@ -476,19 +596,20 @@ class ThreadedEvaluator(Evaluator):
         failure_objective: float | None = None,
         failure_duration: float | None = None,
         fault_policy: FaultPolicy | None = None,
+        cache: EvaluationCache | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.run_function = run_function
         self.num_workers = num_workers
         self.measure_wall_time = measure_wall_time
+        self.cache = cache
         self.fault_policy = _resolve_policy(
             fault_policy, on_error, failure_objective, failure_duration
         )
         self.num_failures = 0
         self.num_retries = 0
         self.num_timeouts = 0
-        self._pool = ThreadPoolExecutor(max_workers=num_workers)
         self._t0 = _time.perf_counter()
         self._futures: dict[Future, Job] = {}
         self._completed: collections.deque[Job] = collections.deque()
@@ -535,35 +656,35 @@ class ThreadedEvaluator(Evaluator):
                 self._next_id += 1
                 self.jobs.append(job)
             self._emit_submitted(job)
-            self._dispatch(job)
+            if not self._submit_cache_hit(job):
+                self._dispatch(job)
             out.append(job)
         return out
 
-    def _dispatch(self, job: Job) -> None:
-        future = self._pool.submit(self._run, job)
+    def _submit_cache_hit(self, job: Job) -> bool:
+        """Serve a duplicate from the cache: finalized at submit time with
+        the memoized result, zero busy credit, delivered by next gather."""
+        if self.cache is None:
+            return False
+        cached = self.cache.lookup(job.config)
+        if cached is None:
+            return False
+        job.cache_hit = True
+        job.result = cached
+        job.start_time = job.end_time = self.now
+        job.state = JobState.DONE
         with self._lock:
-            self._futures[future] = job
+            self._completed.append(job)
+        self._emit_cache_hit(job)
+        return True
 
-    def _run(self, job: Job) -> None:
-        with self._lock:
-            job.state = JobState.RUNNING
-            job.start_time = self.now
-            job.attempt += 1
-            my_attempt = job.attempt
-        t0 = _time.perf_counter()
-        result = self.run_function(job.config)
-        elapsed_min = (_time.perf_counter() - t0) / 60.0
-        if self.measure_wall_time:
-            result = EvaluationResult(result.objective, elapsed_min, result.metadata)
-        with self._lock:
-            # An abandoned (timed-out) attempt must not clobber its retry.
-            if job.attempt == my_attempt:
-                job.result = result
+    def _dispatch(self, job: Job) -> None:
+        raise NotImplementedError
 
     def _finalize(self, job: Job, state: JobState) -> None:
+        # Busy time is credited per attempt as attempts end, not here.
         job.end_time = self.now
         job.state = state
-        self._busy_time += max(0.0, job.end_time - job.start_time)
 
     def _handle_failure(self, job: Job, error: str, finished: list[Job]) -> None:
         """Penalize or retry one failed attempt (policy is not 'raise')."""
@@ -581,13 +702,125 @@ class ThreadedEvaluator(Evaluator):
             self._finalize(job, JobState.FAILED)
             finished.append(job)
 
+    def _wait_timeout(self, pending_jobs: Iterable[Job]) -> float | None:
+        """Seconds to block in ``wait`` before the earliest policy deadline.
+
+        Jobs that are dispatched but not yet started (``RETRYING`` retries
+        queued behind busy workers, fresh ``PENDING`` dispatches) carry a
+        stale or zero ``start_time``; their deadline cannot be earlier than
+        ``now + timeout``, so that bound keeps the wait finite — a retry
+        that starts and then hangs is re-examined (and reaped) instead of
+        blocking gather forever on a wait with no timeout.
+        """
+        policy = self.fault_policy
+        if policy.timeout is None:
+            return None
+        now = self.now
+        deadlines = [
+            (job.start_time if job.state is JobState.RUNNING else now) + policy.timeout
+            for job in pending_jobs
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, (min(deadlines) - now) * 60.0) + 1e-3
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (context-manager parity)."""
+        self.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ThreadedEvaluator(_WallClockEvaluator):
+    """Real concurrent evaluation on a thread pool.
+
+    Time is wall-clock minutes since construction.  The reported job
+    duration is the run function's declared duration unless
+    ``measure_wall_time=True``, in which case the measured elapsed time
+    (in minutes) replaces it.
+
+    The :class:`FaultPolicy` surface matches :class:`SimulatedEvaluator`
+    (API parity): exceptions and invalid objectives are raised, penalized
+    or retried; ``timeout`` (wall-clock minutes) abandons stragglers — the
+    worker thread keeps running but the job is finalized with a penalized
+    result so the campaign never blocks on a hung evaluation.  Retries are
+    resubmitted immediately (exponential backoff is a simulated-minutes
+    concept; sleeping real minutes would stall the pool).
+
+    Worker busy time is accumulated *per attempt* as each attempt's thread
+    returns (a retried job credits every attempt, not just the last), and
+    an optional ``cache`` serves duplicate configurations at submit time:
+    a hit is finalized instantly with the memoized result, zero busy-time
+    credit, and no dispatch.
+    """
+
+    def __init__(
+        self,
+        run_function: RunFunction,
+        num_workers: int,
+        measure_wall_time: bool = False,
+        on_error: str | None = None,
+        failure_objective: float | None = None,
+        failure_duration: float | None = None,
+        fault_policy: FaultPolicy | None = None,
+        cache: EvaluationCache | None = None,
+    ) -> None:
+        super().__init__(
+            run_function,
+            num_workers,
+            measure_wall_time=measure_wall_time,
+            on_error=on_error,
+            failure_objective=failure_objective,
+            failure_duration=failure_duration,
+            fault_policy=fault_policy,
+            cache=cache,
+        )
+        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, job: Job) -> None:
+        future = self._pool.submit(self._run, job)
+        with self._lock:
+            self._futures[future] = job
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.start_time = self.now
+            job.attempt += 1
+            my_attempt = job.attempt
+        t0 = _time.perf_counter()
+        try:
+            result = self.run_function(job.config)
+        finally:
+            # Per-attempt busy accounting: every attempt that actually ran
+            # (including failed ones about to raise, and abandoned attempts
+            # whose thread eventually returns) credits its own elapsed
+            # time, so utilization reflects all work performed.
+            elapsed_min = (_time.perf_counter() - t0) / 60.0
+            with self._lock:
+                self._busy_time += elapsed_min
+        if self.measure_wall_time:
+            result = EvaluationResult(result.objective, elapsed_min, result.metadata)
+        with self._lock:
+            # An abandoned (timed-out) attempt must not clobber its retry.
+            if job.attempt == my_attempt:
+                job.result = result
+
     def gather(self) -> list[Job]:
         """Block until at least one job finishes; return all finished jobs.
 
-        All completed futures are collected before any exception is
-        re-raised, so sibling finished jobs are never dropped: with
-        ``on_error="raise"`` they are buffered and returned by the next
-        ``gather`` call.
+        Jobs already buffered in ``_completed`` — siblings collected before
+        a prior ``on_error="raise"`` exception, or cache hits finalized at
+        submit — are returned immediately, never blocking on unrelated
+        pending futures.
         """
         policy = self.fault_policy
         while True:
@@ -595,20 +828,17 @@ class ThreadedEvaluator(Evaluator):
                 finished = list(self._completed)
                 self._completed.clear()
                 pending = dict(self._futures)
-            if not pending:
+            if finished:
                 for job in finished:
                     self._emit_gathered(job)
                 return finished
-            wait_timeout: float | None = None
-            if policy.timeout is not None:
-                deadlines = [
-                    job.start_time + policy.timeout
-                    for job in pending.values()
-                    if job.state is JobState.RUNNING
-                ]
-                if deadlines:
-                    wait_timeout = max(0.0, (min(deadlines) - self.now) * 60.0) + 1e-3
-            done, _ = wait(pending.keys(), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+            if not pending:
+                return []
+            done, _ = wait(
+                pending.keys(),
+                timeout=self._wait_timeout(pending.values()),
+                return_when=FIRST_COMPLETED,
+            )
             first_error: BaseException | None = None
             for future in done:
                 with self._lock:
@@ -620,6 +850,7 @@ class ThreadedEvaluator(Evaluator):
                     error = policy.classify(job.result)
                     if error is None:
                         self._finalize(job, JobState.DONE)
+                        self._cache_store(job)
                         finished.append(job)
                         continue
                     exc = RuntimeError(f"job {job.job_id}: {error}")
@@ -639,8 +870,8 @@ class ThreadedEvaluator(Evaluator):
                     if now >= job.start_time + policy.timeout:
                         with self._lock:
                             self._futures.pop(future, None)
+                            self.num_timeouts += 1
                         future.cancel()
-                        self.num_timeouts += 1
                         error = f"timeout after {policy.timeout} min"
                         if policy.on_error == "raise":
                             self._finalize(job, JobState.FAILED)
@@ -661,3 +892,225 @@ class ThreadedEvaluator(Evaluator):
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
+
+
+class ProcessPoolEvaluator(_WallClockEvaluator):
+    """True multi-core evaluation on a :class:`ProcessPoolExecutor`.
+
+    The run function must be picklable (a module-level callable or a
+    picklable object); it is pickled **once at construction** — failing
+    fast with a clear error — and installed into each worker by the pool
+    initializer, so heavy captured state crosses the process boundary once
+    per worker instead of once per job.  Attached campaign event buses are
+    stripped from the pickled copy (worker-side emissions could not reach
+    the manager's bus); all lifecycle events are emitted by the manager.
+
+    Semantics beyond :class:`ThreadedEvaluator` parity:
+
+    - a job is marked ``RUNNING`` when its attempt is *dispatched* (the
+      manager cannot observe the exact moment a worker picks it up), so
+      the policy ``timeout`` covers queue delay + execution;
+    - worker crashes (abnormal exit, killed process) surface as
+      :class:`concurrent.futures.BrokenExecutor`; the pool is rebuilt
+      *before* any failure routing, and every attempt in flight at the
+      moment of the break is routed through the :class:`FaultPolicy` as a
+      failed attempt (the executor cannot attribute the crash to a single
+      job).  ``num_worker_crashes`` counts the affected attempts,
+      ``num_pool_rebuilds`` the rebuilds;
+    - timeouts are *real cancellations*: a hung attempt that cannot be
+      cancelled from the queue gets the worker processes terminated and
+      the pool rebuilt, reclaiming the slot (threads can only abandon).
+      Innocent in-flight jobs caught in the kill are re-dispatched on the
+      fresh pool without being charged a retry.
+
+    Busy time is credited per attempt: successful attempts report their
+    measured in-worker wall time; crashed/timed-out/failed attempts are
+    credited manager-observed wall time since dispatch.
+    """
+
+    def __init__(
+        self,
+        run_function: RunFunction,
+        num_workers: int,
+        measure_wall_time: bool = False,
+        on_error: str | None = None,
+        failure_objective: float | None = None,
+        failure_duration: float | None = None,
+        fault_policy: FaultPolicy | None = None,
+        cache: EvaluationCache | None = None,
+    ) -> None:
+        super().__init__(
+            run_function,
+            num_workers,
+            measure_wall_time=measure_wall_time,
+            on_error=on_error,
+            failure_objective=failure_objective,
+            failure_duration=failure_duration,
+            fault_policy=fault_policy,
+            cache=cache,
+        )
+        self.num_worker_crashes = 0
+        self.num_pool_rebuilds = 0
+        try:
+            self._payload = pickle.dumps(_strip_event_bus(run_function))
+        except Exception as exc:
+            raise TypeError(
+                "ProcessPoolEvaluator requires a picklable run function "
+                "(module-level callable or picklable object); "
+                f"pickling failed with: {exc!r}"
+            ) from exc
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            initializer=_process_worker_init,
+            initargs=(self._payload,),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, job: Job) -> None:
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.start_time = self.now
+            job.attempt += 1
+            future = self._pool.submit(_process_worker_call, job.config)
+            self._futures[future] = job
+
+    def _credit_attempt(self, minutes: float) -> None:
+        with self._lock:
+            self._busy_time += minutes
+
+    def _rebuild_pool(self) -> list[Job]:
+        """Terminate every worker process and build a fresh pool.
+
+        Returns the innocent in-flight jobs (futures still tracked when the
+        pool went down) that must be re-dispatched on the new pool.  Their
+        partial attempts credit wall time since dispatch, but they are not
+        charged a retry — the fault was not theirs.
+        """
+        with self._lock:
+            victims = dict(self._futures)
+            self._futures.clear()
+        for proc in list(getattr(self._pool, "_processes", {}).values()):
+            proc.terminate()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
+        self.num_pool_rebuilds += 1
+        now = self.now
+        for job in victims.values():
+            self._credit_attempt(max(0.0, now - job.start_time))
+        return list(victims.values())
+
+    def gather(self) -> list[Job]:
+        """Block until at least one job finishes; return all finished jobs.
+
+        Outcomes are collected *before* any failure routing so that retries
+        triggered by a crash are dispatched to the rebuilt pool, never to
+        the broken one.
+        """
+        policy = self.fault_policy
+        while True:
+            with self._lock:
+                finished = list(self._completed)
+                self._completed.clear()
+                pending = dict(self._futures)
+            if finished:
+                for job in finished:
+                    self._emit_gathered(job)
+                return finished
+            if not pending:
+                return []
+            done, _ = wait(
+                pending.keys(),
+                timeout=self._wait_timeout(pending.values()),
+                return_when=FIRST_COMPLETED,
+            )
+            # Phase 1: collect outcomes without touching the pool.
+            outcomes: list[tuple[Job, BaseException | None, Any]] = []
+            pool_broken = False
+            for future in done:
+                with self._lock:
+                    job = self._futures.pop(future, None)
+                if job is None:
+                    continue  # already reaped by a timeout kill
+                exc = future.exception()
+                if exc is None:
+                    outcomes.append((job, None, future.result()))
+                else:
+                    if isinstance(exc, BrokenExecutor):
+                        pool_broken = True
+                    outcomes.append((job, exc, None))
+            # Phase 2: reap attempts past the policy deadline.  Attempts
+            # still queued are cancelled in place; attempts already running
+            # in a worker force a pool kill (the only real cancellation).
+            overdue: list[Job] = []
+            must_kill = False
+            if policy.timeout is not None:
+                now = self.now
+                for future, job in pending.items():
+                    if future in done or job.state is not JobState.RUNNING:
+                        continue
+                    if now >= job.start_time + policy.timeout:
+                        with self._lock:
+                            self._futures.pop(future, None)
+                            self.num_timeouts += 1
+                        if not future.cancel():
+                            must_kill = True
+                        self._credit_attempt(max(0.0, now - job.start_time))
+                        overdue.append(job)
+            # Phase 3: rebuild the pool if it is broken or holds hung
+            # workers, re-dispatching the innocent in-flight jobs.
+            if pool_broken or must_kill:
+                for job in self._rebuild_pool():
+                    self._dispatch(job)
+            # Phase 4: route outcomes through the policy (pool is healthy).
+            first_error: BaseException | None = None
+            for job, exc, payload in outcomes:
+                if exc is None:
+                    result, elapsed_min = payload
+                    self._credit_attempt(elapsed_min)
+                    if self.measure_wall_time:
+                        result = EvaluationResult(
+                            result.objective, elapsed_min, result.metadata
+                        )
+                    job.result = result
+                    error = policy.classify(result)
+                    if error is None:
+                        self._finalize(job, JobState.DONE)
+                        self._cache_store(job)
+                        finished.append(job)
+                        continue
+                    exc = RuntimeError(f"job {job.job_id}: {error}")
+                else:
+                    if isinstance(exc, BrokenExecutor):
+                        self.num_worker_crashes += 1
+                        exc = RuntimeError(
+                            f"job {job.job_id}: worker process crashed ({exc!r})"
+                        )
+                    self._credit_attempt(max(0.0, self.now - job.start_time))
+                if policy.on_error == "raise":
+                    job.error = repr(exc)
+                    self._finalize(job, JobState.FAILED)
+                    first_error = first_error or exc
+                else:
+                    self._handle_failure(job, repr(exc), finished)
+            for job in overdue:
+                error = f"timeout after {policy.timeout} min"
+                if policy.on_error == "raise":
+                    self._finalize(job, JobState.FAILED)
+                    job.error = error
+                    first_error = first_error or TimeoutError(f"job {job.job_id}: {error}")
+                else:
+                    self._handle_failure(job, error, finished)
+            if first_error is not None:
+                with self._lock:
+                    self._completed.extend(finished)
+                raise first_error
+            if finished:
+                for job in finished:
+                    self._emit_gathered(job)
+                return finished
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)

@@ -52,7 +52,9 @@ class Job:
     retry fault policy; ``attempt`` is a monotonically increasing scheduling
     epoch (bumped on every start and on worker-failure rescheduling) used to
     invalidate stale completion events; ``error`` holds the most recent
-    failure description, if any.
+    failure description, if any.  ``cache_hit`` marks a job whose result was
+    served from an :class:`~repro.workflow.cache.EvaluationCache` without
+    re-running the evaluation (such jobs are credited zero busy time).
     """
 
     job_id: int
@@ -66,6 +68,7 @@ class Job:
     retries: int = 0
     attempt: int = 0
     error: str | None = None
+    cache_hit: bool = False
 
     @property
     def objective(self) -> float:
@@ -134,6 +137,7 @@ def job_to_dict(job: Job) -> dict[str, Any]:
         "retries": job.retries,
         "attempt": job.attempt,
         "error": job.error,
+        "cache_hit": job.cache_hit,
         "result": None
         if job.result is None
         else {
@@ -158,6 +162,7 @@ def job_from_dict(data: dict[str, Any]) -> Job:
         retries=int(data.get("retries", 0)),
         attempt=int(data.get("attempt", 0)),
         error=data.get("error"),
+        cache_hit=bool(data.get("cache_hit", False)),
         result=None
         if result is None
         else EvaluationResult(

@@ -1,0 +1,271 @@
+"""EvaluationCache: canonical hashing, backend semantics, determinism.
+
+The headline acceptance criterion: a seeded AgE campaign with
+``cache="exact"`` reproduces the cache-off search history *bit-identically*
+(the simulated backend replays memoized durations on the simulated clock)
+while reporting a nonzero hit-rate — duplicates cost zero busy time but the
+timeline is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AgE
+from repro.core.config import ModelConfig
+from repro.core.serialization import history_to_dict
+from repro.searchspace import ArchitectureSpace
+from repro.workflow import (
+    EvaluationCache,
+    EvaluationResult,
+    ProcessPoolEvaluator,
+    SimulatedEvaluator,
+    ThreadedEvaluator,
+    canonical_config_key,
+)
+
+
+def arch_eval(config):
+    """Deterministic pure function of the candidate config."""
+    arch = np.asarray(config.arch)
+    h = int(np.sum(arch * np.arange(1, arch.size + 1)))
+    return EvaluationResult(
+        objective=0.3 + 0.6 * ((h * 37) % 101) / 101.0,
+        duration=1.0 + (h % 5),
+        metadata={"h": h},
+    )
+
+
+def int_eval(config):
+    h = (int(config) * 2654435761) % 997
+    return EvaluationResult(objective=(h % 100) / 100.0, duration=1.0 + (h % 7))
+
+
+# --------------------------------------------------------------------- #
+# Canonical hashing
+# --------------------------------------------------------------------- #
+def test_key_is_order_independent_for_dicts():
+    a = {"learning_rate": 0.01, "batch_size": 64, "num_ranks": 2}
+    b = {"num_ranks": 2, "batch_size": 64, "learning_rate": 0.01}
+    assert canonical_config_key(a) == canonical_config_key(b)
+    c = dict(a, learning_rate=0.02)
+    assert canonical_config_key(a) != canonical_config_key(c)
+
+
+def test_key_normalizes_numpy_scalars_and_arrays():
+    a = {"x": np.int64(3), "arr": np.array([1, 2, 3])}
+    b = {"x": 3, "arr": [1, 2, 3]}
+    assert canonical_config_key(a) == canonical_config_key(b)
+
+
+def test_key_model_config_structural_equality():
+    cfg_a = ModelConfig(
+        arch=np.array([1, 0, 2], dtype=np.int64),
+        hyperparameters={"batch_size": 64, "learning_rate": 0.01},
+    )
+    cfg_b = ModelConfig(
+        arch=np.array([1, 0, 2], dtype=np.int64),
+        hyperparameters={"learning_rate": 0.01, "batch_size": 64},
+    )
+    assert canonical_config_key(cfg_a) == canonical_config_key(cfg_b)
+    cfg_c = ModelConfig(
+        arch=np.array([1, 0, 3], dtype=np.int64),
+        hyperparameters=dict(cfg_a.hyperparameters),
+    )
+    assert canonical_config_key(cfg_a) != canonical_config_key(cfg_c)
+
+
+# --------------------------------------------------------------------- #
+# Cache object semantics
+# --------------------------------------------------------------------- #
+def test_cache_counters_and_first_store_wins():
+    cache = EvaluationCache()
+    assert cache.lookup({"x": 1}) is None
+    assert cache.misses == 1 and cache.hit_rate == 0.0
+    assert cache.store({"x": 1}, EvaluationResult(0.5, 2.0))
+    assert not cache.store({"x": 1}, EvaluationResult(0.9, 9.0))  # first wins
+    hit = cache.lookup({"x": 1})
+    assert hit.objective == 0.5 and hit.duration == 2.0
+    assert cache.hits == 1 and cache.stores == 1 and len(cache) == 1
+    assert cache.hit_rate == 0.5
+    assert {"x": 1} in cache and {"x": 2} not in cache
+
+
+def test_cache_returns_fresh_copies():
+    cache = EvaluationCache()
+    cache.store({"x": 1}, EvaluationResult(0.5, 2.0, metadata={"k": 1}))
+    first = cache.lookup({"x": 1})
+    first.metadata["k"] = 999
+    assert cache.lookup({"x": 1}).metadata["k"] == 1
+
+
+def test_cache_state_roundtrip():
+    cache = EvaluationCache()
+    cache.store({"x": 1}, EvaluationResult(0.5, 2.0, metadata={"h": 7}))
+    cache.lookup({"x": 1})
+    cache.lookup({"x": 2})
+    restored = EvaluationCache()
+    restored.load_state(cache.state_dict())
+    assert len(restored) == 1
+    assert (restored.hits, restored.misses, restored.stores) == (1, 1, 1)
+    assert restored.lookup({"x": 1}).metadata == {"h": 7}
+    with pytest.raises(ValueError, match="version"):
+        EvaluationCache().load_state({"version": 99})
+
+
+# --------------------------------------------------------------------- #
+# Simulated backend: timeline replay, zero busy credit, checkpointing
+# --------------------------------------------------------------------- #
+def test_sim_cache_replays_duration_on_simulated_clock():
+    cache = EvaluationCache()
+    ev = SimulatedEvaluator(int_eval, num_workers=1, cache=cache)
+    ev.submit([3, 3])
+    finished = []
+    while ev.num_in_flight:
+        finished.extend(ev.gather())
+    first, dup = sorted(finished, key=lambda j: j.job_id)
+    assert not first.cache_hit and dup.cache_hit
+    # Identical result, and the duplicate still occupied the worker for
+    # the memoized duration — the timeline matches a cache-off run.
+    assert dup.objective == first.objective
+    assert dup.result.duration == first.result.duration
+    assert dup.start_time == first.end_time
+    assert dup.end_time == first.end_time + first.result.duration
+    # ...but only the real evaluation counts as busy time.
+    assert ev._busy_time == first.result.duration
+    assert cache.hits == 1 and cache.stores == 1
+
+
+def test_sim_cache_state_roundtrips_through_evaluator_checkpoint():
+    cache = EvaluationCache()
+    ev = SimulatedEvaluator(int_eval, num_workers=2, cache=cache)
+    ev.submit([1, 2, 1])
+    while ev.num_in_flight:
+        ev.gather()
+    state = ev.state_dict()
+    # Restoring into a cache-less evaluator revives the memo.
+    resumed = SimulatedEvaluator(int_eval, num_workers=2)
+    resumed.load_state(state)
+    assert resumed.cache is not None
+    assert len(resumed.cache) == len(cache)
+    assert resumed.cache.hits == cache.hits
+    jobs = resumed.submit([2])  # duplicate of a pre-checkpoint evaluation
+    while resumed.num_in_flight:
+        resumed.gather()
+    assert jobs[0].cache_hit
+
+
+def test_sim_cache_on_off_histories_bit_identical_with_nonzero_hits():
+    """Acceptance: seeded AgE, cache on vs off -> identical history; the
+    cached run reports hits and strictly less busy time."""
+    space = ArchitectureSpace(num_nodes=2)
+
+    def run_search(cache):
+        ev = SimulatedEvaluator(arch_eval, num_workers=3, cache=cache)
+        search = AgE(space, ev, population_size=4, sample_size=2, seed=13)
+        history = search.search(max_evaluations=60)
+        return history, ev
+
+    history_off, ev_off = run_search(cache=None)
+    cache = EvaluationCache()
+    history_on, ev_on = run_search(cache=cache)
+
+    assert cache.hits > 0, "tiny space must produce duplicate candidates"
+    da, db = history_to_dict(history_off), history_to_dict(history_on)
+    assert len(da["records"]) == len(db["records"]) >= 60
+    assert da == db  # bit-identical: configs, objectives, timestamps
+    assert ev_on.now == ev_off.now  # same simulated timeline
+    assert ev_on._busy_time < ev_off._busy_time  # hits cost no compute
+
+
+# --------------------------------------------------------------------- #
+# Wall-clock backends: hits finalized at submit with zero duration
+# --------------------------------------------------------------------- #
+def test_threaded_cache_hit_finalized_at_submit():
+    cache = EvaluationCache()
+    ev = ThreadedEvaluator(int_eval, num_workers=2, cache=cache)
+    try:
+        ev.submit([5])
+        while ev.num_in_flight:
+            ev.gather()
+        busy_before = ev._busy_time
+        jobs = ev.submit([5])
+        finished = []
+        while ev.num_in_flight:
+            finished.extend(ev.gather())
+        assert jobs[0].cache_hit
+        assert finished[0].job_id == jobs[0].job_id
+        assert finished[0].objective == int_eval(5).objective
+        assert finished[0].start_time == finished[0].end_time  # zero wall time
+        assert ev._busy_time == busy_before  # zero busy credit
+        assert cache.hits == 1
+    finally:
+        ev.shutdown()
+
+
+def test_process_cache_hit_skips_dispatch():
+    cache = EvaluationCache()
+    with ProcessPoolEvaluator(int_eval, num_workers=2, cache=cache) as ev:
+        ev.submit([5])
+        while ev.num_in_flight:
+            ev.gather()
+        jobs = ev.submit([5])
+        finished = []
+        while ev.num_in_flight:
+            finished.extend(ev.gather())
+    assert jobs[0].cache_hit
+    assert finished[0].objective == int_eval(5).objective
+    assert cache.hits == 1 and cache.stores == 1
+
+
+# --------------------------------------------------------------------- #
+# Campaign surface: config validation, builder wiring, metrics
+# --------------------------------------------------------------------- #
+def test_evaluator_config_validates_cache_mode():
+    from repro.campaign import EvaluatorConfig
+
+    assert EvaluatorConfig(cache="exact").cache == "exact"
+    with pytest.raises(ValueError, match="cache"):
+        EvaluatorConfig(cache="bogus")
+
+
+def test_builder_constructs_cache_and_backend():
+    from repro.campaign import CampaignConfig, EvaluatorConfig, SearchConfig, build_campaign
+
+    config = CampaignConfig(
+        dataset="covertype",
+        size=200,
+        max_evaluations=4,
+        search=SearchConfig(method="AgE", population_size=3, sample_size=2),
+        evaluator=EvaluatorConfig(backend="simulated", num_workers=2, cache="exact"),
+    )
+    campaign = build_campaign(config)
+    assert isinstance(campaign.evaluator.cache, EvaluationCache)
+    off = build_campaign(config.replace(evaluator=EvaluatorConfig(num_workers=2)))
+    assert off.evaluator.cache is None
+
+
+def test_metrics_aggregator_reports_cache_hit_rate():
+    from repro.campaign import CacheHit, CacheStore, EventBus, JobGathered, MetricsAggregator
+
+    bus = EventBus()
+    metrics = MetricsAggregator()
+    bus.subscribe(metrics)
+    for job_id in (0, 1):
+        bus.emit(
+            JobGathered(
+                job_id=job_id, time=1.0, objective=0.5, duration=1.0,
+                submit_time=0.0, start_time=0.0, end_time=1.0, worker=0,
+                failed=False, retries=0,
+            )
+        )
+    bus.emit(CacheStore(job_id=0, key="k", time=1.0))
+    bus.emit(CacheHit(job_id=1, key="k", time=1.0))
+    assert metrics.num_cache_hits == 1
+    assert metrics.num_cache_stores == 1
+    assert metrics.cache_hit_rate == 0.5
+    summary = metrics.summary()
+    assert summary["num_cache_hits"] == 1
+    assert summary["num_cache_stores"] == 1
+    assert summary["cache_hit_rate"] == 0.5

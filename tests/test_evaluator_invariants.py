@@ -1,31 +1,77 @@
-"""Seeded property-style invariant tests for both evaluator backends.
+"""Seeded property-style invariant tests for all evaluator backends.
 
 Random (but seeded, via plain ``random.Random`` — no hypothesis dependency)
-submit/gather schedules driven against ``SimulatedEvaluator`` and
-``ThreadedEvaluator``, asserting structural invariants that must hold for
-*any* schedule:
+submit/gather schedules driven against ``SimulatedEvaluator``,
+``ThreadedEvaluator`` and ``ProcessPoolEvaluator``, asserting structural
+invariants that must hold for *any* schedule:
 
 - jobs start in FIFO submission order (absent faults),
 - ``num_in_flight`` always equals submitted-minus-finished,
 - workers are conserved: free + busy + dead == num_workers,
 - ``utilization() <= 1.0`` at every quiescent point.
+
+Plus targeted regressions for three ThreadedEvaluator bugs: gather
+blocking on pending futures while holding buffered finished jobs,
+per-attempt busy-time under-accounting on retries, and the timeout
+deadline scan skipping dispatched-but-unstarted (RETRYING) jobs.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import threading
+import time
 
 import pytest
 
 from repro.workflow import (
     EvaluationResult,
     FaultPolicy,
+    Job,
     JobState,
+    ProcessPoolEvaluator,
     SimulatedEvaluator,
     ThreadedEvaluator,
 )
 
 SCHEDULE_SEEDS = [11, 23, 37, 59]
+
+
+# --------------------------------------------------------------------- #
+# Module-level run functions: the process backend requires picklable ones.
+# --------------------------------------------------------------------- #
+def hashed_run(config):
+    h = (int(config) * 2654435761) % 997
+    return EvaluationResult(objective=(h % 100) / 100.0, duration=1.0 + (h % 7))
+
+
+def flaky_every_fourth(config):
+    if int(config) % 4 == 0:
+        raise RuntimeError("injected")
+    return hashed_run(config)
+
+
+def crash_on_negative(config):
+    if int(config) < 0:
+        os._exit(17)  # abnormal worker death, not a catchable exception
+    return hashed_run(config)
+
+
+def hang_on_negative(config):
+    if int(config) < 0:
+        time.sleep(300)
+    return hashed_run(config)
+
+
+def drain(ev, wall_limit_s=60.0):
+    """Gather until nothing is in flight (bounded by a wall-clock guard)."""
+    finished = []
+    deadline = time.monotonic() + wall_limit_s
+    while ev.num_in_flight:
+        assert time.monotonic() < deadline, "evaluator failed to drain in time"
+        finished.extend(ev.gather())
+    return finished
 
 
 def seeded_run(seed: int):
@@ -145,4 +191,258 @@ def test_threaded_schedule_invariants(seed):
         assert 0.0 <= ev.utilization() <= 1.0
         assert ev.num_in_flight == 0
     finally:
+        ev.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# ProcessPoolEvaluator: parity with the invariant suite
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SCHEDULE_SEEDS[:2])
+def test_process_schedule_invariants(seed):
+    """The schedule invariants hold on the real-process backend."""
+    rng = random.Random(seed)
+    with ProcessPoolEvaluator(hashed_run, num_workers=3) as ev:
+        finished = random_schedule(ev, rng, num_jobs=10, max_batch=3)
+        assert len(finished) == 10
+        assert all(j.state is JobState.DONE for j in finished)
+        assert sorted(j.job_id for j in finished) == list(range(10))
+        assert 0.0 <= ev.utilization() <= 1.0
+        assert ev.num_in_flight == 0
+
+
+def test_process_results_match_run_function():
+    """Objectives computed in worker processes round-trip exactly."""
+    with ProcessPoolEvaluator(hashed_run, num_workers=2) as ev:
+        ev.submit(list(range(8)))
+        finished = drain(ev)
+    by_id = {j.job_id: j for j in finished}
+    for i in range(8):
+        expected = hashed_run(i)
+        assert by_id[i].objective == expected.objective
+        assert by_id[i].result.duration == expected.duration
+
+
+def test_process_retry_policy_parity():
+    """Deterministic worker-side exceptions retry then penalize, exactly
+    as on the other backends."""
+    policy = FaultPolicy(on_error="retry", max_retries=1, failure_objective=-1.0)
+    with ProcessPoolEvaluator(flaky_every_fourth, num_workers=2, fault_policy=policy) as ev:
+        ev.submit(list(range(8)))
+        finished = drain(ev)
+    assert len(finished) == 8
+    failed = sorted(j.job_id for j in finished if j.state is JobState.FAILED)
+    assert failed == [0, 4]  # always-failing configs exhaust their retry
+    for job in finished:
+        if job.state is JobState.FAILED:
+            assert job.objective == -1.0
+            assert job.retries == 1
+        else:
+            assert job.state is JobState.DONE
+
+
+def test_process_raise_policy_propagates():
+    policy = FaultPolicy(on_error="raise")
+    with ProcessPoolEvaluator(flaky_every_fourth, num_workers=1, fault_policy=policy) as ev:
+        ev.submit([4])
+        with pytest.raises(Exception, match="injected"):
+            drain(ev)
+
+
+def test_process_worker_crash_routed_through_policy():
+    """An abnormal worker exit (os._exit) becomes a policy failure, the
+    pool is rebuilt, and the evaluator keeps working."""
+    policy = FaultPolicy(on_error="penalize", failure_objective=-1.0)
+    with ProcessPoolEvaluator(crash_on_negative, num_workers=2, fault_policy=policy) as ev:
+        ev.submit([-1])
+        finished = drain(ev)
+        assert len(finished) == 1
+        job = finished[0]
+        assert job.state is JobState.FAILED
+        assert job.objective == -1.0
+        assert "crash" in (job.error or "").lower()
+        assert ev.num_worker_crashes >= 1
+        assert ev.num_pool_rebuilds >= 1
+        # The rebuilt pool still evaluates.
+        ev.submit([5])
+        more = drain(ev)
+        assert len(more) == 1 and more[0].state is JobState.DONE
+        assert more[0].objective == hashed_run(5).objective
+
+
+def test_process_timeout_kills_hung_worker_and_reclaims_slot():
+    """A hung worker process is genuinely terminated: with one worker, a
+    follow-up job can only complete if the slot was reclaimed."""
+    policy = FaultPolicy(on_error="penalize", timeout=0.02, failure_objective=-1.0)
+    with ProcessPoolEvaluator(hang_on_negative, num_workers=1, fault_policy=policy) as ev:
+        ev.submit([-1])
+        finished = drain(ev)
+        assert len(finished) == 1
+        assert finished[0].state is JobState.FAILED
+        assert "timeout" in finished[0].error
+        assert ev.num_timeouts == 1
+        assert ev.num_pool_rebuilds >= 1
+        ev.submit([7])
+        more = drain(ev)
+        assert len(more) == 1 and more[0].state is JobState.DONE
+
+
+def test_process_rejects_unpicklable_run_function():
+    """Pickling happens once at construction — failing fast, not per job."""
+    with pytest.raises(TypeError, match="picklable"):
+        ProcessPoolEvaluator(lambda config: None, num_workers=1)
+
+
+# --------------------------------------------------------------------- #
+# Regression: gather must return buffered finished jobs immediately
+# --------------------------------------------------------------------- #
+def test_threaded_gather_returns_buffered_without_blocking():
+    """Jobs already in ``_completed`` are delivered without waiting on an
+    unrelated pending future (pre-fix: gather blocked in ``wait``)."""
+    release = threading.Event()
+
+    def blocked(config):
+        release.wait(30)
+        return EvaluationResult(objective=0.5, duration=0.0)
+
+    ev = ThreadedEvaluator(blocked, num_workers=1)
+    try:
+        ev.submit([0])  # occupies the only worker, future stays pending
+        buffered = Job(
+            job_id=99, config=1, state=JobState.DONE,
+            result=EvaluationResult(objective=0.9, duration=0.0),
+        )
+        ev._completed.append(buffered)
+        out: list[Job] = []
+        t = threading.Thread(target=lambda: out.extend(ev.gather()))
+        t.start()
+        t.join(5.0)
+        assert not t.is_alive(), (
+            "gather blocked on a pending future while holding buffered jobs"
+        )
+        assert [j.job_id for j in out] == [99]
+    finally:
+        release.set()
+        drain(ev)
+        ev.shutdown()
+
+
+def test_threaded_raise_buffers_siblings_for_next_gather():
+    """With on_error='raise', finished siblings of a failing job survive
+    the raise and come back from the *next* gather call, immediately."""
+    release = threading.Event()
+
+    def run(config):
+        config = int(config)
+        if config == 0:
+            raise RuntimeError("boom")
+        if config == 2:
+            release.wait(30)  # unrelated straggler
+        return EvaluationResult(objective=config / 10.0, duration=0.0)
+
+    ev = ThreadedEvaluator(run, num_workers=3, fault_policy=FaultPolicy(on_error="raise"))
+    try:
+        ev.submit([0, 1, 2])
+        # Wait until the failing job and its fast sibling have both settled
+        # so one gather round observes them together.
+        deadline = time.monotonic() + 10
+        while sum(f.done() for f in list(ev._futures)) < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        with pytest.raises(RuntimeError, match="boom"):
+            ev.gather()
+        out: list[Job] = []
+        t = threading.Thread(target=lambda: out.extend(ev.gather()))
+        t.start()
+        t.join(5.0)
+        assert not t.is_alive(), "buffered sibling was not returned immediately"
+        assert [j.job_id for j in out] == [1]
+        assert out[0].state is JobState.DONE
+    finally:
+        release.set()
+        drain(ev)
+        ev.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Regression: busy time accumulates per attempt, not final-attempt-only
+# --------------------------------------------------------------------- #
+def test_threaded_retry_busy_time_accumulates_per_attempt():
+    attempt_s = 0.05
+    state = {"n": 0}
+
+    def flaky(config):
+        time.sleep(attempt_s)
+        state["n"] += 1
+        if state["n"] < 3:
+            raise RuntimeError("boom")
+        return EvaluationResult(objective=0.5, duration=0.0)
+
+    policy = FaultPolicy(on_error="retry", max_retries=2)
+    ev = ThreadedEvaluator(flaky, num_workers=1, fault_policy=policy)
+    try:
+        ev.submit([0])
+        finished = drain(ev)
+        assert len(finished) == 1 and finished[0].state is JobState.DONE
+        assert finished[0].retries == 2
+        # Three attempts ran ~attempt_s each; the pre-fix accounting
+        # credited only the final one (~1x attempt_s).
+        assert ev._busy_time >= 2.5 * attempt_s / 60.0
+    finally:
+        ev.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Regression: deadline scan covers dispatched-but-unstarted jobs
+# --------------------------------------------------------------------- #
+def test_wait_timeout_covers_unstarted_jobs():
+    """A RETRYING (dispatched, not yet started) job must yield a finite
+    wait bound of at most ``timeout`` — pre-fix the scan skipped it and
+    gather blocked forever on a hung retry."""
+    ev = ThreadedEvaluator(
+        lambda c: EvaluationResult(0.5, 0.0),
+        num_workers=1,
+        fault_policy=FaultPolicy(on_error="retry", max_retries=1, timeout=2.0),
+    )
+    try:
+        retrying = Job(job_id=0, config=0, state=JobState.RETRYING, start_time=0.0)
+        bound = ev._wait_timeout([retrying])
+        assert bound is not None
+        assert bound <= 2.0 * 60.0 + 1.0  # now + timeout, in seconds
+        # A RUNNING job keeps its start-based (tighter or equal) deadline.
+        running = Job(job_id=1, config=1, state=JobState.RUNNING, start_time=ev.now)
+        assert ev._wait_timeout([running]) <= bound + 1.0
+        # No policy timeout -> unbounded wait is correct.
+        ev.fault_policy = FaultPolicy(on_error="retry", max_retries=1, timeout=None)
+        assert ev._wait_timeout([retrying]) is None
+    finally:
+        ev.shutdown()
+
+
+def test_threaded_hung_retry_does_not_deadlock_gather():
+    """First attempt fails fast; the retry hangs.  gather must reap the
+    hung retry at the policy deadline instead of blocking forever."""
+    state = {"n": 0}
+    release = threading.Event()
+
+    def fail_then_hang(config):
+        state["n"] += 1
+        if state["n"] == 1:
+            raise RuntimeError("boom")
+        release.wait(300)
+        return EvaluationResult(objective=0.5, duration=0.0)
+
+    policy = FaultPolicy(
+        on_error="retry", max_retries=1, timeout=0.01, failure_objective=-1.0
+    )
+    ev = ThreadedEvaluator(fail_then_hang, num_workers=1, fault_policy=policy)
+    try:
+        ev.submit([0])
+        finished = drain(ev, wall_limit_s=30.0)
+        assert len(finished) == 1
+        job = finished[0]
+        assert job.state is JobState.FAILED
+        assert job.objective == -1.0
+        assert ev.num_timeouts == 1
+    finally:
+        release.set()
         ev.shutdown()
